@@ -1,0 +1,42 @@
+// Shared helpers for the figure-generator binaries: config sweeps, best
+// times, and table output (text by default, CSV with --csv).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/app_registry.hpp"
+#include "core/perf_model.hpp"
+#include "core/report.hpp"
+
+namespace bwlab::bench {
+
+/// Best predicted runtime of `a` over the machine's feasible configuration
+/// space (what the paper's "best performing implementation" labels mean).
+inline double best_time(const core::AppInfo& a, const sim::MachineModel& m,
+                        core::Config* best_cfg = nullptr) {
+  double best = 1e300;
+  for (const core::Config& c : core::config_space(m, a.cls)) {
+    const double t = core::PerfModel(m).predict(a.profile, c).total();
+    if (t < best) {
+      best = t;
+      if (best_cfg) *best_cfg = c;
+    }
+  }
+  return best;
+}
+
+/// Prints `t` as text or CSV depending on --csv.
+inline void emit(const Cli& cli, const Table& t) {
+  if (cli.get_bool("csv", false)) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace bwlab::bench

@@ -1,0 +1,67 @@
+// Figure 7: fraction of total runtime spent in MPI for the pure-MPI and
+// MPI+OpenMP implementations on the three CPU platforms, plus the §6
+// aggregate claims (hybrid reduces overhead by ~15% on the older CPUs but
+// only ~8% on the MAX; the MAX fraction is 1.2-5.3x the 8360Y's).
+#include "bench/bench_common.hpp"
+
+using namespace bwlab;
+using namespace bwlab::core;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  Table t("Figure 7 — % of runtime in MPI (model)");
+  std::vector<Column> cols = {{"application", 0}};
+  for (const sim::MachineModel* m : sim::cpu_machines()) {
+    cols.push_back({m->id + " MPI", 1});
+    cols.push_back({m->id + " MPI+OMP", 1});
+  }
+  t.set_columns(cols);
+
+  std::vector<const AppInfo*> apps = structured_apps();
+  for (const AppInfo* a : unstructured_apps()) apps.push_back(a);
+
+  for (const AppInfo* a : apps) {
+    std::vector<Cell> row = {a->display};
+    for (const sim::MachineModel* m : sim::cpu_machines()) {
+      PerfModel pm(*m);
+      const Compiler comp =
+          m->has_avx512 ? Compiler::OneAPI : Compiler::Aocc;
+      const Config mpi{comp, Zmm::Default, false,
+                       a->cls == AppClass::Unstructured ? ParMode::MpiVec
+                                                        : ParMode::Mpi};
+      Config omp = mpi;
+      omp.par = ParMode::MpiOmp;
+      row.push_back(100.0 * pm.predict(a->profile, mpi).mpi_fraction());
+      row.push_back(100.0 * pm.predict(a->profile, omp).mpi_fraction());
+    }
+    t.add_row(std::move(row));
+  }
+  bench::emit(cli, t);
+
+  // Aggregate claims.
+  auto mean_improvement = [&](const sim::MachineModel& m) {
+    PerfModel pm(m);
+    std::vector<double> gains;
+    const Compiler comp = m.has_avx512 ? Compiler::OneAPI : Compiler::Aocc;
+    for (const AppInfo* a : structured_apps()) {
+      const Config mpi{comp, Zmm::Default, false, ParMode::Mpi};
+      Config omp = mpi;
+      omp.par = ParMode::MpiOmp;
+      const double f_mpi = pm.predict(a->profile, mpi).mpi_fraction();
+      const double f_omp = pm.predict(a->profile, omp).mpi_fraction();
+      gains.push_back(f_mpi > 0 ? (f_mpi - f_omp) / f_mpi : 0.0);
+    }
+    return 100.0 * mean(gains);
+  };
+  Table claims("Figure 7 claims — paper vs model");
+  claims.set_columns({{"claim", 0}, {"paper %", 1}, {"model %", 1}});
+  claims.add_row({std::string("MPI->MPI+OpenMP overhead reduction, 8360Y"),
+                  15.0, mean_improvement(sim::icx8360y())});
+  claims.add_row({std::string("MPI->MPI+OpenMP overhead reduction, 7V73X"),
+                  15.0, mean_improvement(sim::milanx())});
+  claims.add_row({std::string("MPI->MPI+OpenMP overhead reduction, MAX"),
+                  8.2, mean_improvement(sim::max9480())});
+  bench::emit(cli, claims);
+  return 0;
+}

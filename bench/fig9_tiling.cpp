@@ -1,0 +1,83 @@
+// Figure 9: CloverLeaf 2D with the OPS cache-blocking tiling optimization
+// — untiled vs tiled runtime on the three CPUs and the A100 reference,
+// with the paper's gains (1.84x / 2.7x / 4.0x, correlating with the
+// cache:memory bandwidth ratios) and the "tiled MAX beats the A100 by
+// 1.5x" headline. Also runs the REAL tiling executor on this host to
+// demonstrate correctness and measure the host-side gain.
+#include "apps/cloverleaf/cloverleaf2d.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace bwlab;
+using namespace bwlab::core;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const AppProfile& prof = app_by_id("cloverleaf2d").profile;
+
+  struct PaperGain {
+    const sim::MachineModel* m;
+    double gain;
+  };
+  const PaperGain paper[] = {{&sim::max9480(), 1.84},
+                             {&sim::icx8360y(), 2.7},
+                             {&sim::milanx(), 4.0}};
+
+  Table t("Figure 9 — CloverLeaf 2D with cache-blocking tiling (model)");
+  t.set_columns({{"platform", 0},
+                 {"untiled s", 3},
+                 {"tiled s", 3},
+                 {"speedup", 2},
+                 {"paper speedup", 2},
+                 {"cache:mem ratio", 1}});
+  double tiled_max = 0;
+  for (const PaperGain& row : paper) {
+    PerfModel pm(*row.m);
+    const Config c = default_config(*row.m, AppClass::Structured);
+    const double t0 = pm.predict(prof, c).total();
+    const double t1 = pm.predict_tiled(prof, c).total();
+    if (row.m->id == "max9480") tiled_max = t1;
+    t.add_row({row.m->name, t0, t1, t0 / t1, row.gain,
+               sim::BandwidthModel(*row.m).cache_to_mem_ratio()});
+  }
+  const double t_gpu =
+      PerfModel(sim::a100())
+          .predict(prof, default_config(sim::a100(), AppClass::Structured))
+          .total();
+  t.add_row({sim::a100().name + " (untiled reference)", t_gpu,
+             std::monostate{}, std::monostate{}, std::monostate{},
+             std::monostate{}});
+  bench::emit(cli, t);
+
+  Table headline("Figure 9 headline — paper vs model");
+  headline.set_columns({{"claim", 0}, {"paper", 2}, {"model", 2}});
+  headline.add_row(
+      {std::string("tiled MAX 9480 vs A100 (x faster)"), 1.5,
+       t_gpu / tiled_max});
+  bench::emit(cli, headline);
+
+  // Real tiling executor on this host: correctness + measured gain.
+  apps::Options o;
+  o.n = cli.get_int("host-n", 256);
+  o.iterations = static_cast<int>(cli.get_int("host-iters", 3));
+  const apps::Result eager = apps::clover2d::run(o);
+  apps::Options ot = o;
+  ot.tiled = true;
+  ot.tile_size = cli.get_int("tile", 16);
+  const apps::Result tiled = apps::clover2d::run(ot);
+  Table host("Tiling executor on THIS host (real run, n=" +
+             std::to_string(o.n) + ")");
+  host.set_columns({{"variant", 0}, {"seconds", 3}, {"checksum", 6}});
+  host.add_row({std::string("eager"), eager.elapsed, eager.checksum});
+  host.add_row({std::string("tiled"), tiled.elapsed, tiled.checksum});
+  host.add_row({std::string("checksums equal (1 = yes)"),
+                eager.checksum == tiled.checksum ? 1.0 : 0.0,
+                std::monostate{}});
+  bench::emit(cli, host);
+  if (!cli.get_bool("csv", false))
+    std::cout << "Note: on a host with few cores these kernels are\n"
+                 "compute-bound, so the tiling executor demonstrates\n"
+                 "correctness and mechanics but cannot show a bandwidth\n"
+                 "win; the platform gains above come from the calibrated\n"
+                 "model of the paper's 112-224-thread machines.\n\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// google-benchmark lane: the REAL BabelStream kernels on this host across
+// array sizes (the measured counterpart of Figure 1's size sweep).
+#include <benchmark/benchmark.h>
+
+#include "microbench/babelstream.hpp"
+
+namespace {
+
+using bwlab::idx_t;
+
+void bm_triad(benchmark::State& state) {
+  bwlab::par::ThreadPool pool(1);
+  bwlab::micro::BabelStream bs(state.range(0), pool);
+  for (auto _ : state) {
+    bs.triad();
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 3 *
+                          state.range(0) * sizeof(double));
+}
+BENCHMARK(bm_triad)->RangeMultiplier(8)->Range(1 << 12, 1 << 24);
+
+void bm_copy(benchmark::State& state) {
+  bwlab::par::ThreadPool pool(1);
+  bwlab::micro::BabelStream bs(state.range(0), pool);
+  for (auto _ : state) {
+    bs.copy();
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0) * sizeof(double));
+}
+BENCHMARK(bm_copy)->RangeMultiplier(8)->Range(1 << 12, 1 << 24);
+
+void bm_dot(benchmark::State& state) {
+  bwlab::par::ThreadPool pool(1);
+  bwlab::micro::BabelStream bs(state.range(0), pool);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += bs.dot();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0) * sizeof(double));
+}
+BENCHMARK(bm_dot)->RangeMultiplier(8)->Range(1 << 12, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

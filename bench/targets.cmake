@@ -1,0 +1,40 @@
+# Included from the top-level CMakeLists so that build/bench/ contains
+# ONLY the figure/benchmark executables (no CMake-generated files) and
+# `for b in build/bench/*; do $b; done` runs cleanly.
+# One binary per paper figure/table, plus ablations and two real
+# google-benchmark host lanes. All land in build/bench/.
+set(BWLAB_FIG_BENCHES
+  fig1_babelstream
+  fig2_latency
+  fig3_structured_configs
+  fig4_unstructured_configs
+  fig5_parallelizations
+  fig6_platforms
+  fig7_mpi_overhead
+  fig8_effective_bandwidth
+  fig9_tiling
+  tbl_systems
+  tbl_minibude_configs
+  abl_tile_size
+  abl_vectorization
+  abl_workgroup)
+
+foreach(b ${BWLAB_FIG_BENCHES})
+  add_executable(${b} ${CMAKE_SOURCE_DIR}/bench/${b}.cpp)
+  target_include_directories(${b} PRIVATE ${CMAKE_SOURCE_DIR})
+  target_link_libraries(${b}
+    PRIVATE bwlab_core bwlab_apps bwlab_micro bwlab_op2 bwlab_ops bwlab_sim
+            bwlab_par bwlab_common bwlab_warnings)
+  set_target_properties(${b} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+foreach(b gb_host_stream gb_host_kernels)
+  add_executable(${b} ${CMAKE_SOURCE_DIR}/bench/${b}.cpp)
+  target_include_directories(${b} PRIVATE ${CMAKE_SOURCE_DIR})
+  target_link_libraries(${b}
+    PRIVATE bwlab_micro bwlab_op2 bwlab_ops bwlab_par bwlab_common
+            bwlab_warnings benchmark::benchmark)
+  set_target_properties(${b} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

@@ -1,0 +1,75 @@
+// Molecular-docking demo on the miniBUDE reproduction: generate a
+// synthetic protein/ligand/pose deck (the stand-in for the proprietary
+// bm1 input), evaluate every pose with the BUDE-style soft-core force
+// field, and print the best poses — then model the paper's §5
+// configuration findings for the full 65k-pose deck.
+//
+// Run:  ./build/examples/docking [--scale=4] [--threads=2]
+#include <algorithm>
+#include <iostream>
+
+#include "apps/minibude/minibude.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/app_registry.hpp"
+#include "core/perf_model.hpp"
+
+using namespace bwlab;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const idx_t scale = cli.get_int("scale", 4);
+  const apps::minibude::Deck deck = apps::minibude::make_deck(scale, 2026);
+
+  std::cout << "miniBUDE docking demo: " << deck.nprot()
+            << " protein atoms, " << deck.nlig() << " ligand atoms, "
+            << deck.nposes() << " poses\n\n";
+
+  // Evaluate every pose (scalar reference path — identical to the lane
+  // path, as the tests assert).
+  std::vector<std::pair<float, std::size_t>> scored;
+  scored.reserve(deck.nposes());
+  for (std::size_t p = 0; p < deck.nposes(); ++p)
+    scored.emplace_back(apps::minibude::pose_energy_scalar(deck, p), p);
+  std::sort(scored.begin(), scored.end());
+
+  Table best("Top five poses (lowest interaction energy)");
+  best.set_columns({{"pose", 0},
+                    {"energy", 3},
+                    {"tx", 2},
+                    {"ty", 2},
+                    {"tz", 2}});
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t p = scored[static_cast<std::size_t>(i)].second;
+    best.add_row({double(p), double(scored[static_cast<std::size_t>(i)].first),
+                  double(deck.pose[3][p]), double(deck.pose[4][p]),
+                  double(deck.pose[5][p])});
+  }
+  best.print(std::cout);
+
+  // Timed full run through the application interface.
+  apps::Options o;
+  o.n = scale;
+  o.iterations = 1;
+  o.threads = static_cast<int>(cli.get_int("threads", 2));
+  o.exec_mode = 1;  // the vectorizable lane layout
+  const apps::Result r = apps::minibude::run(o);
+  std::cout << "\nlane-path run: " << r.elapsed << " s, mean energy "
+            << r.metric("mean_energy") << "\n\n";
+
+  // Paper §5 findings at bm1 scale on the MAX CPU.
+  const core::AppProfile& prof = core::app_by_id("minibude").profile;
+  core::PerfModel pm(sim::max9480());
+  Table model("miniBUDE at bm1 scale on the MAX 9480 (model, paper §5)");
+  model.set_columns({{"configuration", 0}, {"TFLOP/s", 2}});
+  for (const core::Config& c :
+       core::config_space(sim::max9480(), core::AppClass::ComputeBound)) {
+    const core::Prediction p = pm.predict(prof, c);
+    model.add_row({c.label(), p.achieved_flops() / 1e12});
+  }
+  model.print(std::cout);
+  std::cout << "\nZMM high buys ~45%, hyperthreading costs ~28%, and SYCL "
+               "reaches only\n~half of OpenMP — the paper's miniBUDE "
+               "findings.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Interactive what-if explorer for the performance model: pick an
+// application, a platform, and a configuration on the command line and
+// get the predicted runtime with a full per-kernel roofline breakdown —
+// the tool you would use to extend the paper's study to new questions.
+//
+// Run:  ./build/examples/perf_explorer --app=cloverleaf2d
+//           --machine=max9480 --par=omp --compiler=oneapi --zmm=high
+//           --ht=off [--tiled]
+//       ./build/examples/perf_explorer --list
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/app_registry.hpp"
+#include "core/perf_model.hpp"
+
+using namespace bwlab;
+using namespace bwlab::core;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+
+  if (cli.has("list")) {
+    std::cout << "applications:";
+    for (const AppInfo& a : all_apps()) std::cout << " " << a.id;
+    std::cout << "\nmachines:";
+    for (const sim::MachineModel* m : sim::all_machines())
+      std::cout << " " << m->id;
+    std::cout << "\npar: mpi | vec | omp | sycl-flat | sycl-nd"
+              << "\ncompiler: classic | oneapi | aocc"
+              << "\nzmm: default | high;  ht: on | off;  --tiled\n";
+    return 0;
+  }
+
+  const AppInfo& app = app_by_id(cli.get("app", "cloverleaf2d"));
+  const sim::MachineModel& m =
+      sim::machine_by_id(cli.get("machine", "max9480"));
+
+  Config cfg = default_config(m, app.cls);
+  const std::string par = cli.get("par", "");
+  if (par == "mpi") cfg.par = ParMode::Mpi;
+  if (par == "vec") cfg.par = ParMode::MpiVec;
+  if (par == "omp") cfg.par = ParMode::MpiOmp;
+  if (par == "sycl-flat") cfg.par = ParMode::MpiSyclFlat;
+  if (par == "sycl-nd") cfg.par = ParMode::MpiSyclNd;
+  const std::string comp = cli.get("compiler", "");
+  if (comp == "classic") cfg.compiler = Compiler::Classic;
+  if (comp == "oneapi") cfg.compiler = Compiler::OneAPI;
+  if (comp == "aocc") cfg.compiler = Compiler::Aocc;
+  const std::string zmm = cli.get("zmm", "");
+  if (zmm == "default") cfg.zmm = Zmm::Default;
+  if (zmm == "high") cfg.zmm = Zmm::High;
+  if (cli.has("ht")) cfg.ht = cli.get("ht", "on") == "on";
+
+  PerfModel pm(m);
+  const Prediction p = cli.has("tiled") ? pm.predict_tiled(app.profile, cfg)
+                                        : pm.predict(app.profile, cfg);
+
+  std::cout << app.display << " on " << m.name << "\nconfiguration: "
+            << cfg.label() << (cli.has("tiled") ? " + tiling" : "")
+            << "\n\n";
+
+  Table t("Per-kernel roofline breakdown (whole run)");
+  t.set_columns({{"kernel", 0},
+                 {"bytes", 0},
+                 {"mem s", 4},
+                 {"comp s", 4},
+                 {"bound", 0}});
+  for (const KernelPrediction& k : p.kernels)
+    t.add_row({k.name, format_size(k.bytes), k.mem_s, k.comp_s,
+               std::string(k.memory_bound() ? "memory" : "compute")});
+  t.print(std::cout);
+
+  Table sum("Totals");
+  sum.set_columns({{"quantity", 0}, {"value", 0}});
+  sum.add_row({std::string("kernel time"), format_time(p.kernel_s)});
+  sum.add_row({std::string("launch/sync overhead"), format_time(p.overhead_s)});
+  sum.add_row({std::string("MPI time"), format_time(p.comm_s)});
+  sum.add_row({std::string("total"), format_time(p.total())});
+  sum.add_row({std::string("MPI fraction"),
+               std::to_string(100.0 * p.mpi_fraction()) + " %"});
+  sum.add_row({std::string("effective bandwidth"),
+               format_bandwidth(p.eff_bw()) + " (" +
+                   std::to_string(100.0 * p.eff_bw() / m.stream_triad_node) +
+                   " % of STREAM)"});
+  sum.add_row(
+      {std::string("achieved compute"), format_flops(p.achieved_flops())});
+  std::cout << "\n";
+  sum.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "apps/acoustic/acoustic.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "ops/par_loop.hpp"
+
+namespace bwlab::apps::acoustic {
+
+// Standard 8th-order central weights for d2/dx2 (h = 1 units).
+const double kStencilWeights[5] = {-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0,
+                                   8.0 / 315.0, -1.0 / 560.0};
+
+namespace {
+
+using real = float;
+
+struct Solver {
+  ops::Context& ctx;
+  idx_t n;
+  real c2dt2;  // (c*dt/h)^2
+  ops::Block block;
+  ops::Dat<real> u_prev, u_curr, u_next;
+
+  Solver(ops::Context& c, idx_t n_, double courant)
+      : ctx(c), n(n_),
+        c2dt2(static_cast<real>(courant * courant)),
+        block(c, "acoustic", 3, {n_, n_, n_}),
+        u_prev(block, "u_prev", 4),
+        u_curr(block, "u_curr", 4),
+        u_next(block, "u_next", 4) {
+    for (ops::Dat<real>* d : {&u_prev, &u_curr, &u_next})
+      d->set_bc_all(ops::Bc::Periodic);
+  }
+
+  ops::Range interior() const {
+    return ops::Range::make3d(0, n, 0, n, 0, n);
+  }
+
+  /// One leapfrog step: u_next = 2 u - u_prev + (c dt/h)^2 lap8(u).
+  void step() {
+    const real a = c2dt2;
+    ops::par_loop(
+        {"wave_update", 2.0 * 13 + 5, Pattern::WideStencil}, block,
+        interior(),
+        [a](ops::Acc<const real> um, ops::Acc<const real> u,
+            ops::Acc<real> un) {
+          // Single-precision arithmetic throughout, as the production code.
+          real lap = 3.0f * static_cast<real>(kStencilWeights[0]) * u(0, 0, 0);
+          for (int r = 1; r <= 4; ++r) {
+            const real w = static_cast<real>(kStencilWeights[r]);
+            lap += w * (u(-r, 0, 0) + u(r, 0, 0) + u(0, -r, 0) + u(0, r, 0) +
+                        u(0, 0, -r) + u(0, 0, r));
+          }
+          un(0, 0, 0) = 2.0f * u(0, 0, 0) - um(0, 0, 0) + a * lap;
+        },
+        ops::read(u_prev), ops::read(u_curr, ops::Stencil::star(3, 4)),
+        ops::write(u_next));
+  }
+
+  /// Point source injection (Ricker-style pulse at the domain center) —
+  /// the tiny kernel acoustic codes run each step.
+  void inject(double t) {
+    const idx_t mid = n / 2;
+    const real amp = static_cast<real>(
+        (1.0 - 2.0 * t * t) * std::exp(-t * t));
+    ops::par_loop(
+        {"source_inject", 2.0, Pattern::Boundary}, block,
+        ops::Range::make3d(mid, mid + 1, mid, mid + 1, mid, mid + 1),
+        [amp](ops::Acc<real> un) { un(0, 0, 0) += amp; },
+        ops::read_write(u_next));
+  }
+
+  void rotate() {
+    // Pointer-free rotation via data swap (OPS-style triple buffering).
+    std::swap(u_prev, u_curr);
+    std::swap(u_curr, u_next);
+  }
+
+  struct Energy {
+    double sum_sq = 0, max_abs = 0;
+  };
+  Energy energy() {
+    Energy e;
+    ops::par_loop(
+        {"field_energy", 3.0}, block, interior(),
+        [](ops::Acc<const real> u, double& sq, double& mx) {
+          const double v = u(0, 0, 0);
+          sq += v * v;
+          mx = std::max(mx, std::abs(v));
+        },
+        ops::read(u_curr), ops::reduce_sum(e.sum_sq),
+        ops::reduce_max(e.max_abs));
+    if (ctx.comm() != nullptr) {
+      e.sum_sq = ctx.comm()->allreduce_sum(e.sum_sq);
+      e.max_abs = ctx.comm()->allreduce_max(e.max_abs);
+    }
+    return e;
+  }
+};
+
+}  // namespace
+
+Result run(const Options& opt) {
+  Result result;
+  const double courant = 0.3;  // well inside the 8th-order stability bound
+  auto run_rank = [&](par::Comm* comm) {
+    std::unique_ptr<ops::Context> ctx =
+        comm ? std::make_unique<ops::Context>(*comm, opt.threads)
+             : std::make_unique<ops::Context>(opt.threads);
+    Solver s(*ctx, opt.n, courant);
+    // Plane-wave eigenmode initial condition: u(x, t) = cos(kx - wt).
+    const double k = 2.0 * M_PI / static_cast<double>(opt.n);
+    s.u_curr.fill_indexed([k](idx_t i, idx_t, idx_t) {
+      return static_cast<real>(std::cos(k * static_cast<double>(i)));
+    });
+    // Exact one-step-back state of the discrete mode: the leapfrog update
+    // of a spatial eigenmode multiplies it by 2 cos(w dt); initialize
+    // u_prev with the time-shifted mode so the march is the pure mode.
+    double lam = kStencilWeights[0];
+    for (int r = 1; r <= 4; ++r)
+      lam += 2.0 * kStencilWeights[r] * std::cos(k * r);
+    const double cos_wdt = 1.0 + 0.5 * courant * courant * lam;
+    const double wdt = std::acos(std::max(-1.0, std::min(1.0, cos_wdt)));
+    s.u_prev.fill_indexed([k, wdt](idx_t i, idx_t, idx_t) {
+      return static_cast<real>(std::cos(k * static_cast<double>(i) + wdt));
+    });
+    s.u_next.fill(0.0f);
+
+    Timer timer;
+    for (int it = 0; it < opt.iterations; ++it) {
+      s.step();
+      // The source term has decayed to ~0 by t=10; the kernel still runs
+      // (it is part of the app's per-step launch profile) without
+      // perturbing the eigenmode validation.
+      s.inject(10.0 + it);
+      s.rotate();
+    }
+    const Solver::Energy e = s.energy();
+    if (!comm || comm->rank() == 0) {
+      result.elapsed = timer.elapsed();
+      result.metrics["sum_sq"] = e.sum_sq;
+      result.metrics["max_abs"] = e.max_abs;
+      result.metrics["cos_wdt"] = cos_wdt;
+      result.checksum = e.sum_sq;
+      result.instr = ctx->instr();
+      if (comm) result.comm_seconds = comm->comm_seconds();
+    }
+  };
+  if (opt.ranks > 1)
+    par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
+  else
+    run_rank(nullptr);
+  return result;
+}
+
+}  // namespace bwlab::apps::acoustic

@@ -1,0 +1,21 @@
+// Acoustic: structured-mesh 8th-order finite-difference acoustic wave
+// propagation (paper §3(3)). Single precision, leapfrog in time, radius-4
+// star stencil in space — the halo depth of 4 gives this app the paper's
+// "large communications volume over MPI"; the 25-point stencil makes it
+// cache-locality bound (Pattern::WideStencil).
+//
+// Validation: a periodic-domain plane-wave eigenmode propagates with the
+// discrete dispersion relation, so after any number of steps the field
+// stays a scaled copy of the initial mode; energy stays bounded.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace bwlab::apps::acoustic {
+
+Result run(const Options& opt);
+
+/// Discrete 8th-order second-derivative weights (w[0] is the center).
+extern const double kStencilWeights[5];
+
+}  // namespace bwlab::apps::acoustic

@@ -1,0 +1,45 @@
+// Shared application-facing types: run options and results. Every
+// application exposes `Result run(const Options&)` executing the real
+// numerics on the host (optionally distributed over SimMPI ranks and/or a
+// thread team), returning physics metrics for validation and the
+// instrumentation records the profile extractor consumes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/instrument.hpp"
+#include "common/types.hpp"
+
+namespace bwlab::apps {
+
+struct Options {
+  idx_t n = 32;         ///< linear problem size (grid extent / mesh scale)
+  int iterations = 5;   ///< time steps / solver iterations
+  int ranks = 1;        ///< SimMPI ranks (1 = no message passing)
+  int threads = 1;      ///< thread-team size within a rank
+  bool tiled = false;   ///< CloverLeaf 2D: run through the tiling executor
+  idx_t tile_size = 0;  ///< tile height (0 = default)
+  int exec_mode = 0;    ///< unstructured apps: 0 serial, 1 vec, 2 colored
+  int scenario = 0;     ///< app-specific test scenario (0 = default)
+  std::uint64_t seed = 12345;  ///< synthetic input seed
+};
+
+struct Result {
+  /// A scalar that any two correct runs must reproduce (used to compare
+  /// serial / threaded / distributed / tiled executions).
+  double checksum = 0;
+  /// Named physics metrics (mass, energy, max velocity, ...).
+  std::map<std::string, double> metrics;
+  /// Rank-0 loop/exchange records (profile extraction, Figure 8 on host).
+  Instrumentation instr;
+  seconds_t elapsed = 0;
+  seconds_t comm_seconds = 0;  ///< rank-0 blocked time in SimMPI
+
+  double metric(const std::string& key) const {
+    const auto it = metrics.find(key);
+    return it == metrics.end() ? 0.0 : it->second;
+  }
+};
+
+}  // namespace bwlab::apps

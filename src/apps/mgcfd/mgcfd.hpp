@@ -1,0 +1,25 @@
+// MG-CFD reproduction [15] (paper §3(5)): unstructured-mesh finite-volume
+// Euler solver with a multigrid hierarchy, the proxy for Rolls-Royce's
+// Hydra. Double precision. The NASA Rotor37 input is proprietary, so the
+// mesh is a synthetic hexahedral block (op2::make_hex_mesh) with
+// randomized cell renumbering to reproduce the indirect-access locality
+// of a production mesh, and a 2-level agglomeration hierarchy.
+//
+// Per iteration (matching MG-CFD's kernel set): compute_step_factor
+// (direct), compute_flux (Rusanov flux over faces, gather + indirect
+// increment — the race-prone kernel), time_step (direct update), plus
+// restrict/prolong across the multigrid levels.
+//
+// Validation: exact free-stream preservation (uniform flow stays uniform
+// through fluxes, boundaries, and the MG cycle), conservation of interior
+// flux increments, and bitwise agreement of the serial / vec / colored
+// execution modes.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace bwlab::apps::mgcfd {
+
+Result run(const Options& opt);
+
+}  // namespace bwlab::apps::mgcfd

@@ -1,0 +1,52 @@
+// miniBUDE reproduction [16] (paper §3(1)): the BUDE molecular-docking
+// hot loop — for each of N rigid-body poses of a ligand, accumulate the
+// protein-ligand interaction energy over all atom pairs with the BUDE
+// soft-core force field (steric clash, hydrophobic/polar surface terms,
+// distance-capped electrostatics). Single precision, compute bound: the
+// arithmetic intensity is ~tens of FLOPs per 8-byte pair read.
+//
+// The bm1 input deck is replaced by a deterministic synthetic deck
+// (uniform atoms in a sphere, four atom classes with BUDE-like
+// parameters, random pose cloud) with the same shape: the kernel and its
+// intensity are what the paper measures, not the chemistry of bm1.
+//
+// Two code paths exist: a scalar reference and a "poses-per-lane" batch
+// path (miniBUDE's WGSIZE idea, the vectorizable layout); both must
+// produce identical energies — that and pose-translation invariance are
+// the validations.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_common.hpp"
+
+namespace bwlab::apps::minibude {
+
+struct Deck {
+  // SoA atom data.
+  std::vector<float> prot_x, prot_y, prot_z;
+  std::vector<int> prot_type;
+  std::vector<float> lig_x, lig_y, lig_z;
+  std::vector<int> lig_type;
+  // Per-type force-field parameters.
+  std::vector<float> radius, hphb, elsc;
+  // Poses: 3 Euler angles + 3 translations, SoA.
+  std::vector<float> pose[6];
+
+  std::size_t nprot() const { return prot_x.size(); }
+  std::size_t nlig() const { return lig_x.size(); }
+  std::size_t nposes() const { return pose[0].size(); }
+};
+
+/// Deterministic synthetic deck: `scale` ~ 1 gives 256 protein atoms, 16
+/// ligand atoms, 256 poses; sizes grow linearly with scale.
+Deck make_deck(idx_t scale, std::uint64_t seed);
+
+/// Scalar reference energy of one pose.
+float pose_energy_scalar(const Deck& deck, std::size_t pose);
+
+/// Options::n is the deck scale; exec_mode 0 = scalar loop, 1 = batched
+/// lane layout; threads parallelize over poses.
+Result run(const Options& opt);
+
+}  // namespace bwlab::apps::minibude

@@ -1,0 +1,23 @@
+// miniWeather reproduction [14] (paper §3(7)): 2-D stratified compressible
+// flow capturing the basic dynamics of atmospheric simulations. Finite
+// volume in perturbation form over a hydrostatic dry-isentropic
+// background, 4th-order interface interpolation with hyperviscosity,
+// miniWeather's low-storage 3-stage time integrator, periodic in x and
+// solid walls top/bottom (enforced through antisymmetric ghost fills of
+// vertical momentum, which zero the wall fluxes exactly). Double
+// precision, thermal-bubble test case.
+//
+// Validation: exact conservation of total (perturbation) mass, buoyant
+// rise of the warm bubble (positive vertical momentum develops), and
+// bounded extrema under hyperviscosity.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace bwlab::apps::miniweather {
+
+/// Options::n is the horizontal cell count; the vertical extent is n/2
+/// (the paper runs 4000x2000).
+Result run(const Options& opt);
+
+}  // namespace bwlab::apps::miniweather

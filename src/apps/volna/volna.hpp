@@ -1,0 +1,26 @@
+// Volna reproduction [19] (paper §3(6)): nonlinear shallow-water equations
+// on an unstructured triangle mesh, single precision's production sibling
+// runs tsunami scenarios; the Indian-Ocean case is proprietary data, so we
+// generate a synthetic ocean basin (triangulated rectangle with a radial
+// continental-shelf bathymetry and a Gaussian initial hump) of
+// configurable size. Like the original, the cost profile is edge-flux
+// gathers plus per-cell updates, with a dt min-reduction.
+//
+// The scheme is first-order finite volume with a Rusanov flux and
+// Audusse-style hydrostatic reconstruction, which is well-balanced: a
+// lake at rest over arbitrary bathymetry stays exactly at rest — the
+// primary validation, alongside exact mass conservation (reflective wall
+// edges move no mass) and serial/vec/colored agreement.
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace bwlab::apps::volna {
+
+Result run(const Options& opt);
+
+/// Variant used by tests: start from a flat lake at rest (must remain
+/// still) instead of the Gaussian hump.
+Result run_lake_at_rest(const Options& opt);
+
+}  // namespace bwlab::apps::volna

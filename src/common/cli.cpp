@@ -1,0 +1,71 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace bwlab {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  BWLAB_REQUIRE(end != it->second.c_str() && *end == '\0',
+                "--" << name << " expects an integer, got '" << it->second
+                     << "'");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  BWLAB_REQUIRE(end != it->second.c_str() && *end == '\0',
+                "--" << name << " expects a number, got '" << it->second
+                     << "'");
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  BWLAB_REQUIRE(false, "--" << name << " expects a boolean, got '" << v << "'");
+  return fallback;  // unreachable
+}
+
+}  // namespace bwlab

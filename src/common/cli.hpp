@@ -1,0 +1,44 @@
+// Minimal command-line parser for the bench/ and examples/ executables.
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bwlab {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of `--name`, or `fallback` if absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of `--name`, or `fallback` if absent. Throws on
+  /// non-numeric input.
+  long long get_int(const std::string& name, long long fallback) const;
+
+  /// Double value of `--name`, or `fallback` if absent.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean: `--name` alone or `--name=true/1/on` is true;
+  /// `--name=false/0/off` is false; absent gives `fallback`.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-`--`) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bwlab

@@ -1,0 +1,39 @@
+// Error-checking helpers: precondition checks that stay on in release
+// builds. HPC codes die loudly on contract violations instead of limping on
+// with corrupt state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bwlab {
+
+/// Exception thrown on any violated bwlab precondition/invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "bwlab check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bwlab
+
+/// Always-on contract check. Usage: BWLAB_REQUIRE(n > 0, "n=" << n);
+#define BWLAB_REQUIRE(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream bwlab_os_;                                   \
+      bwlab_os_ << msg; /* NOLINT */                                  \
+      ::bwlab::detail::fail(#expr, __FILE__, __LINE__,                \
+                            bwlab_os_.str());                         \
+    }                                                                 \
+  } while (0)

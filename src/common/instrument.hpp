@@ -1,0 +1,105 @@
+// Per-loop and per-exchange instrumentation. This is the mechanism the
+// paper uses for Figure 8: "effective bandwidth ... calculated by OPS
+// automatically, by measuring the execution time of the kernel (excluding
+// MPI communications), and estimating the effective data movement, based
+// on the iteration ranges, datasets accessed, and types of access".
+// The same records, captured from an instrumented run at reduced size,
+// are the inputs of the performance model (core::AppProfile).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "common/types.hpp"
+
+namespace bwlab {
+
+/// Accumulated statistics of one named par_loop.
+struct LoopRecord {
+  std::string name;
+  count_t calls = 0;
+  count_t points = 0;      ///< total grid points executed
+  count_t bytes = 0;       ///< useful bytes moved (OPS convention)
+  double flops = 0;        ///< total floating-point operations
+  seconds_t host_seconds = 0;  ///< measured host execution time
+  Pattern pattern = Pattern::Streaming;
+  int max_radius = 0;      ///< largest read-stencil radius seen
+  int ndims = 2;
+
+  double bytes_per_point() const {
+    return points ? static_cast<double>(bytes) / static_cast<double>(points)
+                  : 0.0;
+  }
+  double flops_per_point() const {
+    return points ? flops / static_cast<double>(points) : 0.0;
+  }
+  /// Effective host bandwidth (Figure 8 metric, on the host).
+  double effective_bw() const {
+    return host_seconds > 0 ? static_cast<double>(bytes) / host_seconds : 0.0;
+  }
+};
+
+/// Accumulated halo-exchange statistics of one Dat.
+struct ExchangeRecord {
+  std::string dat_name;
+  count_t exchanges = 0;  ///< number of exchange events
+  count_t messages = 0;   ///< point-to-point messages sent
+  count_t bytes = 0;      ///< payload bytes sent
+  int halo_depth = 0;
+  std::size_t elem_bytes = 0;  ///< sizeof the dat element
+};
+
+/// Registry owned by the per-rank Context.
+class Instrumentation {
+ public:
+  LoopRecord& loop(const std::string& name) {
+    auto [it, inserted] = loops_.try_emplace(name);
+    if (inserted) {
+      it->second.name = name;
+      order_.push_back(name);
+    }
+    return it->second;
+  }
+
+  ExchangeRecord& exchange(const std::string& dat_name) {
+    auto [it, inserted] = exchanges_.try_emplace(dat_name);
+    if (inserted) it->second.dat_name = dat_name;
+    return it->second;
+  }
+
+  /// Loops in first-execution order (the per-iteration kernel sequence).
+  std::vector<const LoopRecord*> loops_in_order() const {
+    std::vector<const LoopRecord*> out;
+    out.reserve(order_.size());
+    for (const std::string& n : order_) out.push_back(&loops_.at(n));
+    return out;
+  }
+
+  std::vector<const ExchangeRecord*> exchanges() const {
+    std::vector<const ExchangeRecord*> out;
+    out.reserve(exchanges_.size());
+    for (const auto& [_, r] : exchanges_) out.push_back(&r);
+    return out;
+  }
+
+  seconds_t total_loop_seconds() const {
+    seconds_t s = 0;
+    for (const auto& [_, r] : loops_) s += r.host_seconds;
+    return s;
+  }
+
+  void clear() {
+    loops_.clear();
+    exchanges_.clear();
+    order_.clear();
+  }
+
+ private:
+  std::map<std::string, LoopRecord> loops_;
+  std::map<std::string, ExchangeRecord> exchanges_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace bwlab

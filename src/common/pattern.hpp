@@ -1,0 +1,21 @@
+// Memory-access pattern classification shared by the DSLs (which infer it
+// per loop) and the performance model (which assigns per-pattern bandwidth
+// and vectorization efficiencies).
+#pragma once
+
+namespace bwlab {
+
+enum class Pattern {
+  Streaming,      ///< unit-stride read/write, no reuse (triad-like)
+  Stencil,        ///< unit-stride with spatial reuse (radius >= 1)
+  WideStencil,    ///< high-order stencil (radius >= 3): cache-capacity bound
+  Boundary,       ///< small face/edge loop: latency/launch bound
+  Reduction,      ///< streaming + global reduction
+  Indirect,       ///< unstructured gather via a mapping table
+  GatherScatter,  ///< unstructured gather + indirect increment (race-prone)
+  Compute,        ///< arithmetic-dominated (miniBUDE-like)
+};
+
+const char* to_string(Pattern p);
+
+}  // namespace bwlab

@@ -1,0 +1,42 @@
+// Deterministic random number generation. All synthetic inputs (meshes,
+// docking decks, initial perturbations) must be bit-reproducible across
+// runs and machines, so we use a fixed SplitMix64/xoshiro pipeline instead
+// of std::mt19937's unspecified distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bwlab {
+
+/// SplitMix64: used to seed and as a simple high-quality 64-bit generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bwlab

@@ -1,0 +1,80 @@
+// Streaming statistics and small numeric helpers (geometric mean, median)
+// used when aggregating repeated measurements — the paper averages 4 runs —
+// and when reporting normalized-slowdown summaries (Section 5).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace bwlab {
+
+/// Welford streaming accumulator: mean/variance/min/max without storing
+/// samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  count_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Coefficient of variation; the paper reports <5% run-to-run variance.
+  double rel_stddev() const { return mean_ != 0.0 ? stddev() / mean_ : 0.0; }
+
+ private:
+  count_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean of strictly positive values.
+inline double geomean(const std::vector<double>& v) {
+  BWLAB_REQUIRE(!v.empty(), "geomean of empty vector");
+  double s = 0.0;
+  for (double x : v) {
+    BWLAB_REQUIRE(x > 0.0, "geomean requires positive values, got " << x);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+/// Arithmetic mean.
+inline double mean(const std::vector<double>& v) {
+  BWLAB_REQUIRE(!v.empty(), "mean of empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Median (copies and sorts; fine for report-sized vectors).
+inline double median(std::vector<double> v) {
+  BWLAB_REQUIRE(!v.empty(), "median of empty vector");
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Relative error |a-b| / |b|; used by tests comparing model vs paper.
+inline double rel_err(double a, double b) {
+  return std::abs(a - b) / std::abs(b);
+}
+
+}  // namespace bwlab

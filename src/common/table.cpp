@@ -1,0 +1,102 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bwlab {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_columns(std::vector<Column> columns) {
+  BWLAB_REQUIRE(rows_.empty(), "set_columns must precede add_row");
+  columns_ = std::move(columns);
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  BWLAB_REQUIRE(row.size() == columns_.size(),
+                "row has " << row.size() << " cells, table has "
+                           << columns_.size() << " columns");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::format_cell(const Cell& c, const Column& col) const {
+  if (std::holds_alternative<std::monostate>(c)) return "";
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(col.precision) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].header.size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      widths[c] = std::max(widths[c], format_cell(r.cells[c], columns_[c]).size());
+  }
+
+  std::size_t total = columns_.empty() ? 0 : 3 * (columns_.size() - 1);
+  for (std::size_t w : widths) total += w;
+
+  if (!title_.empty()) os << title_ << "\n" << std::string(total, '=') << "\n";
+
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << " | ";
+    os << std::left << std::setw(static_cast<int>(widths[c]))
+       << columns_[c].header;
+  }
+  os << "\n" << std::string(total, '-') << "\n";
+
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << "\n";
+      continue;
+    }
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << " | ";
+      const std::string cell = format_cell(r.cells[c], columns_[c]);
+      const bool numeric = std::holds_alternative<double>(r.cells[c]);
+      os << (numeric ? std::right : std::left)
+         << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << escape(columns_[c].header);
+  }
+  os << "\n";
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ',';
+      os << escape(format_cell(r.cells[c], columns_[c]));
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace bwlab

@@ -1,0 +1,59 @@
+// Console table and CSV rendering for the figure/table generators in
+// bench/. Every figure binary prints an aligned text table mirroring the
+// paper's artifact and can optionally emit CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bwlab {
+
+/// A cell is a string, a double (formatted with the column's precision) or
+/// empty.
+using Cell = std::variant<std::monostate, std::string, double>;
+
+/// Column header plus formatting hints.
+struct Column {
+  std::string header;
+  int precision = 2;  ///< digits after the decimal point for double cells
+};
+
+/// A simple right-aligned numeric / left-aligned text table.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define columns; must be called before add_row.
+  void set_columns(std::vector<Column> columns);
+
+  /// Append one row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<Cell> row);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (separators are skipped; empty cells become empty
+  /// fields).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<Cell> cells;
+  };
+  std::string format_cell(const Cell& c, const Column& col) const;
+
+  std::string title_;
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bwlab

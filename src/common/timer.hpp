@@ -1,0 +1,41 @@
+// Wall-clock timing used both by the host microbenchmarks and by the DSL
+// per-loop instrumentation.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace bwlab {
+
+/// Monotonic wall-clock timer with microsecond-or-better resolution.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  seconds_t elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a named bucket for the duration of a scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(seconds_t& sink) : sink_(sink) {}
+  ~ScopedTimer() { sink_ += t_.elapsed(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  seconds_t& sink_;
+  Timer t_;
+};
+
+}  // namespace bwlab

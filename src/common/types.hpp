@@ -1,0 +1,31 @@
+// Fundamental type aliases and small helpers shared across bwlab.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bwlab {
+
+/// Index type used for mesh/array extents. Signed so that loop arithmetic
+/// (e.g. `i - radius`) never silently wraps.
+using idx_t = std::int64_t;
+
+/// Byte counts, flop counts, message counts: always 64-bit unsigned.
+using count_t = std::uint64_t;
+
+/// Seconds as double: all model and measured times use this unit.
+using seconds_t = double;
+
+/// Cache-line size assumed by the latency/bandwidth models and by the
+/// aligned allocator. All four modeled platforms use 64-byte lines.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Round `n` up to the next multiple of `align` (align must be non-zero).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+/// Integer ceiling division for non-negative values.
+constexpr idx_t ceil_div(idx_t n, idx_t d) { return (n + d - 1) / d; }
+
+}  // namespace bwlab

@@ -1,0 +1,63 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace bwlab {
+
+namespace {
+std::string with_unit(double value, const char* unit, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << ' ' << unit;
+  return os.str();
+}
+}  // namespace
+
+std::string format_bandwidth(double bytes_per_second) {
+  if (bytes_per_second >= kGB) return with_unit(bytes_per_second / kGB, "GB/s", 1);
+  if (bytes_per_second >= kMB) return with_unit(bytes_per_second / kMB, "MB/s", 1);
+  return with_unit(bytes_per_second / kKB, "KB/s", 1);
+}
+
+std::string format_flops(double flops_per_second) {
+  if (flops_per_second >= kTFLOP)
+    return with_unit(flops_per_second / kTFLOP, "TFLOP/s");
+  return with_unit(flops_per_second / kGFLOP, "GFLOP/s");
+}
+
+std::string format_size(double bytes) {
+  if (bytes >= kGiB) return with_unit(bytes / kGiB, "GiB");
+  if (bytes >= kMiB) return with_unit(bytes / kMiB, "MiB");
+  if (bytes >= kKiB) return with_unit(bytes / kKiB, "KiB");
+  return with_unit(bytes, "B", 0);
+}
+
+std::string format_time(seconds_t seconds) {
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) return with_unit(seconds, "s");
+  if (abs >= 1e-3) return with_unit(seconds * 1e3, "ms");
+  if (abs >= 1e-6) return with_unit(seconds * 1e6, "us");
+  return with_unit(seconds * 1e9, "ns");
+}
+
+}  // namespace bwlab
+
+// to_string(Pattern) lives here to keep pattern.hpp header-only light.
+#include "common/pattern.hpp"
+
+namespace bwlab {
+const char* to_string(Pattern p) {
+  switch (p) {
+    case Pattern::Streaming: return "streaming";
+    case Pattern::Stencil: return "stencil";
+    case Pattern::WideStencil: return "wide-stencil";
+    case Pattern::Boundary: return "boundary";
+    case Pattern::Reduction: return "reduction";
+    case Pattern::Indirect: return "indirect";
+    case Pattern::GatherScatter: return "gather-scatter";
+    case Pattern::Compute: return "compute";
+  }
+  return "?";
+}
+}  // namespace bwlab

@@ -1,0 +1,37 @@
+// Unit constants and human-readable formatting of bandwidths, flop rates
+// and sizes. The paper (and STREAM convention) uses decimal GB/s.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bwlab {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kGFLOP = 1e9;
+inline constexpr double kTFLOP = 1e12;
+
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kNanosecond = 1e-9;
+
+/// "1446.0 GB/s"-style formatting.
+std::string format_bandwidth(double bytes_per_second);
+
+/// "6.02 TFLOP/s"-style formatting.
+std::string format_flops(double flops_per_second);
+
+/// "64 MiB" / "2.5 GiB" style size formatting (binary units, as caches are
+/// usually quoted).
+std::string format_size(double bytes);
+
+/// "12.3 ms" / "4.5 us" / "2.1 s" style duration formatting.
+std::string format_time(seconds_t seconds);
+
+}  // namespace bwlab

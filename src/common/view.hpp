@@ -1,0 +1,61 @@
+// Lightweight strided views over contiguous storage (an mdspan-lite).
+// Structured-mesh kernels index fields as v(i,j) / v(i,j,k) with optional
+// halo padding; the view owns nothing and is trivially copyable so it can
+// be captured by value in parallel kernels.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace bwlab {
+
+/// 2-D view with row-major layout: element (i, j) at data[j * stride + i].
+/// `i` is the contiguous (x) direction, matching the memory layout used by
+/// OPS-generated code.
+template <class T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, idx_t nx, idx_t ny, idx_t stride)
+      : data_(data), nx_(nx), ny_(ny), stride_(stride) {}
+  View2D(T* data, idx_t nx, idx_t ny) : View2D(data, nx, ny, nx) {}
+
+  T& operator()(idx_t i, idx_t j) const { return data_[j * stride_ + i]; }
+  T* data() const { return data_; }
+  idx_t nx() const { return nx_; }
+  idx_t ny() const { return ny_; }
+  idx_t stride() const { return stride_; }
+  idx_t size() const { return nx_ * ny_; }
+
+ private:
+  T* data_ = nullptr;
+  idx_t nx_ = 0, ny_ = 0, stride_ = 0;
+};
+
+/// 3-D view, layout data[(k * sy + j) * sx + i]; x contiguous.
+template <class T>
+class View3D {
+ public:
+  View3D() = default;
+  View3D(T* data, idx_t nx, idx_t ny, idx_t nz, idx_t sx, idx_t sy)
+      : data_(data), nx_(nx), ny_(ny), nz_(nz), sx_(sx), sy_(sy) {}
+  View3D(T* data, idx_t nx, idx_t ny, idx_t nz)
+      : View3D(data, nx, ny, nz, nx, ny) {}
+
+  T& operator()(idx_t i, idx_t j, idx_t k) const {
+    return data_[(k * sy_ + j) * sx_ + i];
+  }
+  T* data() const { return data_; }
+  idx_t nx() const { return nx_; }
+  idx_t ny() const { return ny_; }
+  idx_t nz() const { return nz_; }
+  idx_t stride_x() const { return sx_; }
+  idx_t stride_y() const { return sy_; }
+  idx_t size() const { return nx_ * ny_ * nz_; }
+
+ private:
+  T* data_ = nullptr;
+  idx_t nx_ = 0, ny_ = 0, nz_ = 0, sx_ = 0, sy_ = 0;
+};
+
+}  // namespace bwlab

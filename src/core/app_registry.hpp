@@ -1,0 +1,34 @@
+// Registry connecting the real applications to the performance model:
+// for every benchmarked code it extracts an instrumented profile from an
+// actual reduced-size run, scales it to the paper's problem size, and
+// attaches the paper's iteration counts, precision, and problem metadata
+// (Section 3's application list).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/profile.hpp"
+
+namespace bwlab::core {
+
+struct AppInfo {
+  std::string id;
+  std::string display;
+  AppClass cls = AppClass::Structured;
+  AppProfile profile;  ///< at paper scale
+};
+
+/// All applications in the paper's Section 3 order. Profiles are extracted
+/// on first use and cached for the process lifetime.
+const std::vector<AppInfo>& all_apps();
+
+const AppInfo& app_by_id(const std::string& id);
+
+/// The six structured-mesh apps of Figure 3 (paper order).
+std::vector<const AppInfo*> structured_apps();
+/// The two unstructured apps of Figure 4.
+std::vector<const AppInfo*> unstructured_apps();
+
+}  // namespace bwlab::core

@@ -1,0 +1,71 @@
+// The configuration space of Section 5: compiler x ZMM policy x
+// hyperthreading x parallelization. Feasibility rules follow the paper
+// (SYCL requires the OneAPI toolchain; Classic stalls on miniBUDE; the
+// AMD machine has no AVX-512 and SMT is disabled; the GPU runs CUDA).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace bwlab::core {
+
+enum class Compiler {
+  Classic,  ///< Intel C++ Compiler Classic (ICC/ICPC)
+  OneAPI,   ///< Intel oneAPI DPC++/C++ (ICX/ICPX)
+  Aocc,     ///< AMD Optimizing C/C++ Compiler (EPYC runs)
+  Cuda,     ///< nvcc (A100 runs)
+};
+
+enum class Zmm { Default, High };
+
+enum class ParMode {
+  Mpi,         ///< one rank per (logical) core
+  MpiVec,      ///< pure MPI with auto-vectorized gather/scatter kernels
+  MpiOmp,      ///< one rank per NUMA domain + threads
+  MpiSyclFlat, ///< one rank per NUMA domain + SYCL flat parallel_for
+  MpiSyclNd,   ///< ... with explicit nd_range workgroups
+  Gpu,         ///< CUDA (platform-comparison figures only)
+};
+
+const char* to_string(Compiler c);
+const char* to_string(Zmm z);
+const char* to_string(ParMode p);
+
+struct Config {
+  Compiler compiler = Compiler::OneAPI;
+  Zmm zmm = Zmm::Default;
+  bool ht = false;  ///< two threads/ranks per physical core
+  ParMode par = ParMode::MpiOmp;
+
+  bool is_sycl() const {
+    return par == ParMode::MpiSyclFlat || par == ParMode::MpiSyclNd;
+  }
+  /// Row label in the style of Figures 3/4.
+  std::string label() const;
+};
+
+/// Application class, deciding which config dimensions apply.
+enum class AppClass { Structured, Unstructured, ComputeBound };
+
+/// Feasible configurations on a CPU machine for an app class, mirroring
+/// the rows of Figure 3 (structured: MPI / MPI+OpenMP for both compilers,
+/// MPI+SYCL with OneAPI), Figure 4 (unstructured: adds MPI-vec, single
+/// SYCL row) and the miniBUDE discussion.
+std::vector<Config> config_space(const sim::MachineModel& m, AppClass cls);
+
+/// The per-machine best-practice configuration the paper converges on
+/// (OneAPI, ZMM high, HT off, MPI+OpenMP on Intel; AOCC on AMD; CUDA on
+/// the GPU) — used where a single configuration is needed.
+Config default_config(const sim::MachineModel& m, AppClass cls);
+
+/// Ranks and threads-per-rank a configuration uses on a machine.
+struct Layout {
+  int ranks = 1;
+  int threads_per_rank = 1;
+  int total_threads() const { return ranks * threads_per_rank; }
+};
+Layout layout(const sim::MachineModel& m, const Config& c);
+
+}  // namespace bwlab::core

@@ -1,0 +1,78 @@
+// The roofline + LogGP performance model: predicts application runtime,
+// per-kernel times, effective bandwidth, and MPI overhead for any
+// (application profile, machine model, configuration) triple. This is the
+// engine behind Figures 3-9; the inputs come from machine models
+// calibrated on the paper's Section 2 microbenchmarks (src/sim) and from
+// profiles extracted from the real application code (src/core/profile).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/profile.hpp"
+#include "core/tuning.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/comm.hpp"
+
+namespace bwlab::core {
+
+struct KernelPrediction {
+  std::string name;
+  seconds_t mem_s = 0;   ///< bandwidth-roof time for the whole run
+  seconds_t comp_s = 0;  ///< compute-roof time for the whole run
+  double bytes = 0;      ///< useful bytes for the whole run
+  seconds_t time() const { return mem_s > comp_s ? mem_s : comp_s; }
+  bool memory_bound() const { return mem_s >= comp_s; }
+};
+
+struct Prediction {
+  seconds_t kernel_s = 0;    ///< sum of per-kernel roofline times
+  seconds_t overhead_s = 0;  ///< SYCL launches / OpenMP barriers / CUDA launch
+  seconds_t comm_s = 0;      ///< MPI halo exchanges + reductions
+  double bytes = 0;          ///< useful bytes for the whole run
+  double flops = 0;
+  std::vector<KernelPrediction> kernels;
+
+  seconds_t total() const { return kernel_s + overhead_s + comm_s; }
+  /// Fraction of runtime spent in MPI (the Figure 7 metric).
+  double mpi_fraction() const {
+    return total() > 0 ? comm_s / total() : 0.0;
+  }
+  /// Achieved effective bandwidth over kernel execution time (Figure 8).
+  double eff_bw() const { return kernel_s > 0 ? bytes / kernel_s : 0.0; }
+  double achieved_flops() const {
+    const seconds_t t = total();
+    return t > 0 ? flops / t : 0.0;
+  }
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(const sim::MachineModel& m)
+      : m_(m), bwm_(m), cm_(m) {}
+
+  /// Full prediction for one application run at paper scale.
+  Prediction predict(const AppProfile& app, const Config& cfg) const;
+
+  /// Prediction with the OPS cache-blocking tiling applied to the
+  /// application's loop chain (Figure 9).
+  Prediction predict_tiled(const AppProfile& app, const Config& cfg) const;
+
+  /// Effective bandwidth roof for one kernel (exposed for tests).
+  double kernel_bw(const AppProfile& app, const KernelProfile& k,
+                   const Config& cfg) const;
+  /// Flop-rate roof for one kernel (exposed for tests).
+  double kernel_flop_rate(const AppProfile& app, const KernelProfile& k,
+                          const Config& cfg) const;
+  /// Modeled communication time per iteration.
+  seconds_t comm_per_iter(const AppProfile& app, const Config& cfg) const;
+
+  const sim::MachineModel& machine() const { return m_; }
+
+ private:
+  const sim::MachineModel& m_;
+  sim::BandwidthModel bwm_;
+  sim::CommModel cm_;
+};
+
+}  // namespace bwlab::core

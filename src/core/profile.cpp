@@ -1,0 +1,45 @@
+#include "core/profile.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bwlab::core {
+
+AppProfile scale_profile(const Instrumentation& instr, double iters,
+                         double small, double paper, int ndims) {
+  BWLAB_REQUIRE(iters > 0 && small > 0 && paper > 0, "bad scaling inputs");
+  AppProfile p;
+  p.ndims = ndims;
+  const double ratio = paper / small;
+  const double vol_scale = std::pow(ratio, ndims);
+  const double surf_scale = std::pow(ratio, ndims - 1);
+
+  for (const LoopRecord* r : instr.loops_in_order()) {
+    KernelProfile k;
+    k.name = r->name;
+    k.calls_per_iter = static_cast<double>(r->calls) / iters;
+    const double pts_per_call =
+        static_cast<double>(r->points) / static_cast<double>(r->calls);
+    const bool surface = r->pattern == Pattern::Boundary;
+    k.points_per_call = pts_per_call * (surface ? surf_scale : vol_scale);
+    k.bytes_per_point = r->bytes_per_point();
+    k.flops_per_point = r->flops_per_point();
+    k.pattern = r->pattern;
+    k.max_radius = r->max_radius;
+    p.kernels.push_back(std::move(k));
+  }
+
+  for (const ExchangeRecord* e : instr.exchanges()) {
+    if (e->exchanges == 0) continue;
+    ExchangeProfile x;
+    x.dat_name = e->dat_name;
+    x.exchanges_per_iter = static_cast<double>(e->exchanges) / iters;
+    x.halo_depth = e->halo_depth;
+    x.elem_bytes = e->elem_bytes;
+    p.exchanges.push_back(std::move(x));
+  }
+  return p;
+}
+
+}  // namespace bwlab::core

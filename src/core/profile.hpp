@@ -1,0 +1,106 @@
+// Application profiles: the per-kernel and per-exchange quantities the
+// performance model consumes. Profiles are EXTRACTED from instrumented
+// runs of the real applications at reduced size (common/instrument.hpp
+// records points, useful bytes, flops, patterns, stencil radii and halo
+// traffic from the actual DSL descriptors) and scaled analytically to the
+// paper's problem sizes: interior kernels scale with N^d, boundary
+// kernels and halo surfaces with N^(d-1).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/instrument.hpp"
+#include "common/pattern.hpp"
+#include "common/types.hpp"
+
+namespace bwlab::core {
+
+/// One kernel, per application iteration, at paper scale.
+struct KernelProfile {
+  std::string name;
+  double calls_per_iter = 1;
+  double points_per_call = 0;   ///< grid points / set elements
+  double bytes_per_point = 0;   ///< useful bytes (OPS convention)
+  double flops_per_point = 0;
+  Pattern pattern = Pattern::Streaming;
+  int max_radius = 0;
+
+  double bytes_per_iter() const {
+    return calls_per_iter * points_per_call * bytes_per_point;
+  }
+  double flops_per_iter() const {
+    return calls_per_iter * points_per_call * flops_per_point;
+  }
+};
+
+/// Halo-exchange traffic of one dat, per application iteration, at paper
+/// scale (structured apps; unstructured apps use the halo_coeff model).
+struct ExchangeProfile {
+  std::string dat_name;
+  double exchanges_per_iter = 0;
+  int halo_depth = 1;
+  std::size_t elem_bytes = 8;
+};
+
+struct AppProfile {
+  std::string app_id;    ///< "cloverleaf2d", "volna", ...
+  std::string display;   ///< "CloverLeaf 2D"
+  bool structured = true;
+  int ndims = 2;
+  std::size_t fp_bytes = 8;  ///< dominant precision
+  double iterations = 1;     ///< paper iteration count
+
+  // Paper-scale problem size.
+  std::array<double, 3> global{1, 1, 1};  ///< structured grid extents
+  double elements = 0;                    ///< unstructured primary-set size
+
+  std::vector<KernelProfile> kernels;
+  std::vector<ExchangeProfile> exchanges;
+
+  /// Total resident field data (bytes) at paper scale; decides which cache
+  /// level the working set sees.
+  double working_set_bytes = 0;
+
+  // Unstructured communication model: halo elements per rank
+  //   = halo_coeff * (elements / ranks)^((d-1)/d),
+  // with halo_coeff and the average neighbor-rank count measured from an
+  // actual RCB partition of the extraction mesh.
+  double halo_coeff = 0;
+  double avg_neighbor_ranks = 6;
+
+  double total_points_per_iter() const {
+    double p = 0;
+    for (const auto& k : kernels) p += k.calls_per_iter * k.points_per_call;
+    return p;
+  }
+  double total_bytes_per_iter() const {
+    double b = 0;
+    for (const auto& k : kernels) b += k.bytes_per_iter();
+    return b;
+  }
+  double total_flops_per_iter() const {
+    double f = 0;
+    for (const auto& k : kernels) f += k.flops_per_iter();
+    return f;
+  }
+  /// Number of distinct kernel launches per iteration (SYCL overhead).
+  double launches_per_iter() const {
+    double n = 0;
+    for (const auto& k : kernels) n += k.calls_per_iter;
+    return n;
+  }
+};
+
+/// Scales an instrumented small run up to paper size.
+///
+/// `instr`       — records captured from the run
+/// `iters`       — iterations the small run executed
+/// `small/paper` — linear problem scale (per-dimension extent for
+///                 structured apps; cbrt/sqrt of elements for unstructured)
+/// `ndims`       — spatial dimensionality
+AppProfile scale_profile(const Instrumentation& instr, double iters,
+                         double small, double paper, int ndims);
+
+}  // namespace bwlab::core

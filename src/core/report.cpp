@@ -1,0 +1,46 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace bwlab::core {
+
+std::vector<std::vector<double>> normalize_columns_to_best(
+    const std::vector<std::vector<double>>& times) {
+  BWLAB_REQUIRE(!times.empty(), "no rows to normalize");
+  const std::size_t cols = times.front().size();
+  std::vector<double> best(cols, 1e300);
+  for (const auto& row : times) {
+    BWLAB_REQUIRE(row.size() == cols, "ragged time matrix");
+    for (std::size_t c = 0; c < cols; ++c) best[c] = std::min(best[c], row[c]);
+  }
+  std::vector<std::vector<double>> out(times.size(),
+                                       std::vector<double>(cols));
+  for (std::size_t r = 0; r < times.size(); ++r)
+    for (std::size_t c = 0; c < cols; ++c) out[r][c] = times[r][c] / best[c];
+  return out;
+}
+
+std::vector<std::size_t> order_rows_by_mean(
+    const std::vector<std::vector<double>>& values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<double> means(values.size());
+  for (std::size_t r = 0; r < values.size(); ++r) means[r] = mean(values[r]);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return means[a] < means[b];
+  });
+  return idx;
+}
+
+SlowdownSummary summarize_slowdowns(
+    const std::vector<std::vector<double>>& normalized) {
+  std::vector<double> all;
+  for (const auto& row : normalized)
+    all.insert(all.end(), row.begin(), row.end());
+  return {mean(all), median(all)};
+}
+
+}  // namespace bwlab::core

@@ -1,0 +1,32 @@
+// Small report helpers shared by the figure generators: normalization to
+// the per-application best (Figures 3/4 are slowdown heatmaps), row
+// ordering by average, and speedup tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace bwlab::core {
+
+/// times[row][col] -> slowdown vs the column's best (>= 1.0 everywhere,
+/// exactly 1.0 for each column's winner).
+std::vector<std::vector<double>> normalize_columns_to_best(
+    const std::vector<std::vector<double>>& times);
+
+/// Row indices sorted ascending by the row's mean value (the ordering of
+/// Figures 3 and 4).
+std::vector<std::size_t> order_rows_by_mean(
+    const std::vector<std::vector<double>>& values);
+
+/// Mean and median of all entries (the paper's §5 "mean slowdown vs best
+/// 1.25, median 1.12" summary).
+struct SlowdownSummary {
+  double mean = 0;
+  double median = 0;
+};
+SlowdownSummary summarize_slowdowns(
+    const std::vector<std::vector<double>>& normalized);
+
+}  // namespace bwlab::core

@@ -1,0 +1,105 @@
+// Calibration constants of the performance model. Every number here is
+// annotated with its provenance: a statement in the paper, a published
+// datum, or a standard microarchitectural estimate. These are the ONLY
+// free parameters of the model; everything else derives from machine
+// specifications and profiles extracted from the real application code.
+#pragma once
+
+#include <string>
+
+#include "common/pattern.hpp"
+#include "core/config.hpp"
+#include "sim/machine.hpp"
+
+namespace bwlab::core {
+
+/// Sustainable outstanding cache-line fills per core for a pattern
+/// (hardware + prefetcher memory-level parallelism). Together with the
+/// machine's memory latency this caps per-core achievable bandwidth:
+/// complex patterns cannot fill HBM-class bandwidth — the mechanism behind
+/// Figure 8's lower fractions on the MAX CPU.
+double pattern_mlp(Pattern p);
+
+/// Cache-friction coefficient kappa: the achievable fraction of STREAM
+/// bandwidth is rho / (rho + kappa), where rho is the machine's
+/// cache:memory bandwidth ratio. Streaming has kappa = 0 (definitionally
+/// achieves STREAM); reuse-heavy patterns larger values.
+double pattern_cache_kappa(Pattern p);
+
+/// Fraction of peak FLOP throughput a pattern's generated code sustains
+/// when vectorized (ports, dependency chains, mixed ALU work).
+double pattern_ipc(Pattern p);
+
+/// Per-application compiler quality factor (>= 1 slows the app down).
+/// These are empirical codegen differences the paper measured; with no
+/// access to ICC/ICX they are imported as constants (provenance: §5).
+double compiler_time_factor(const std::string& app_id, Compiler c);
+
+/// Effective SIMD width multiplier for gather/scatter ("vec") kernels:
+/// lanes * pack_efficiency. The pack/unpack overhead is relatively smaller
+/// on 256-bit AVX2 (paper §6, MG-CFD discussion).
+double vec_gather_speedup(const sim::MachineModel& m, Zmm zmm);
+
+/// Hyperthreading multiplier on kernel time (< 1 is faster). Bandwidth-
+/// bound patterns are insensitive; latency-bound indirect patterns gain
+/// ~13% (paper §5); compute-bound pipelines lose ~28% (miniBUDE, §5).
+double ht_time_factor(Pattern p, bool ht);
+
+/// Per-kernel-launch overhead of the SYCL runtime going through the
+/// OpenCL driver (paper §5.1: pronounced for CloverLeaf's many small
+/// boundary kernels). Seconds.
+double sycl_launch_overhead_s(ParMode p);
+
+/// Additional time factor for SYCL kernel execution relative to OpenMP.
+/// Grows with the number of small boundary kernels per iteration — "this
+/// is more pronounced on CloverLeaf 2D/3D due to the higher number of
+/// small boundary kernels" (§5.1); ndrange with one fixed workgroup size
+/// is slightly worse than the runtime-chosen flat sizes at app level.
+double sycl_exec_factor(ParMode p, double boundary_launches_per_iter);
+
+/// Locality penalty of colored (OpenMP) execution of unstructured loops:
+/// elements of one color are scattered, so spatial reuse of the gathered
+/// data degrades (paper §5: "further loss in data locality").
+double colored_locality_factor();
+
+/// Tiling model (Figure 9): fraction of the curve-peak cache bandwidth a
+/// tiled loop chain sustains, and the redundant-computation overhead.
+double tiling_cache_efficiency();
+double tiling_overhead_factor();
+/// Cross-loop reuse factor of the CloverLeaf 2D chain: how many times the
+/// chain touches each resident byte per sweep (bounds the DRAM-traffic
+/// reduction).
+double tiling_chain_reuse();
+
+/// Additional cache-friction per concurrent data stream beyond what the
+/// prefetchers track comfortably: kernels touching many arrays (OpenSBLI
+/// SA's 20-dat flux store) cannot reach STREAM-triad efficiency. Added to
+/// pattern_cache_kappa per stream above kStreamFree.
+/// The coefficient grows with the machine's bandwidth-per-core: HBM-class
+/// bandwidth stresses per-core prefetch/MSHR resources harder (the
+/// mechanism behind the MAX CPU's lower fractions in Figure 8).
+double stream_kappa_per_extra_stream(const sim::MachineModel& m);
+inline constexpr double kStreamFree = 6.0;
+
+/// Application working sets get less LLC benefit than a STREAM size
+/// sweep: many arrays conflict, every kernel streams through all of them,
+/// and the V-Cache is physically split across 16 CCDs. The effective
+/// footprint compared against cache capacity is ws * this factor.
+double app_cache_fit_penalty();
+
+/// AVX2's relative scheduling advantage on the compute-bound kernel.
+double compute_ipc_no_avx512_bonus();
+
+/// Streaming efficiency of a workgroup shape (§5.1): bandwidth-bound
+/// kernels want workgroups that span the contiguous dimension (long
+/// unit-stride runs feed the prefetchers) and stay thin elsewhere.
+/// Returns a multiplier <= 1 on achievable bandwidth.
+double workgroup_stream_efficiency(double wx, double domain_x,
+                                   double elem_bytes);
+
+/// GPU pattern efficiency bonus: massive SMT hides latency, so the GPU
+/// sustains a higher fraction of its STREAM bandwidth on complex patterns
+/// (paper §6: "better bandwidth utilization thanks to the massive SMT").
+double gpu_pattern_relief();
+
+}  // namespace bwlab::core

@@ -1,0 +1,100 @@
+#include "microbench/babelstream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.hpp"
+
+namespace bwlab::micro {
+
+BabelStream::BabelStream(idx_t n, par::ThreadPool& pool)
+    : n_(n), pool_(pool),
+      a_(static_cast<std::size_t>(n), 0.1),
+      b_(static_cast<std::size_t>(n), 0.2),
+      c_(static_cast<std::size_t>(n), 0.0) {}
+
+void BabelStream::copy() {
+  double* a = a_.data();
+  double* c = c_.data();
+  pool_.parallel_for(0, n_, [=](idx_t i) { c[i] = a[i]; });
+}
+
+void BabelStream::mul() {
+  double* b = b_.data();
+  double* c = c_.data();
+  pool_.parallel_for(0, n_, [=](idx_t i) { b[i] = kScalar * c[i]; });
+}
+
+void BabelStream::add() {
+  double* a = a_.data();
+  double* b = b_.data();
+  double* c = c_.data();
+  pool_.parallel_for(0, n_, [=](idx_t i) { c[i] = a[i] + b[i]; });
+}
+
+void BabelStream::triad() {
+  double* a = a_.data();
+  double* b = b_.data();
+  double* c = c_.data();
+  pool_.parallel_for(0, n_, [=](idx_t i) { a[i] = b[i] + kScalar * c[i]; });
+}
+
+double BabelStream::dot() {
+  const double* a = a_.data();
+  const double* b = b_.data();
+  return pool_.parallel_reduce_sum(0, n_,
+                                   [=](idx_t i) { return a[i] * b[i]; });
+}
+
+std::vector<StreamResult> BabelStream::run_all(int reps) {
+  const count_t nbytes = static_cast<count_t>(n_) * sizeof(double);
+  std::vector<StreamResult> out = {
+      {"Copy", 2 * nbytes, 1e30},  {"Mul", 2 * nbytes, 1e30},
+      {"Add", 3 * nbytes, 1e30},   {"Triad", 3 * nbytes, 1e30},
+      {"Dot", 2 * nbytes, 1e30},
+  };
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    copy();
+    out[0].best_seconds = std::min(out[0].best_seconds, t.elapsed());
+    t.reset();
+    mul();
+    out[1].best_seconds = std::min(out[1].best_seconds, t.elapsed());
+    t.reset();
+    add();
+    out[2].best_seconds = std::min(out[2].best_seconds, t.elapsed());
+    t.reset();
+    triad();
+    out[3].best_seconds = std::min(out[3].best_seconds, t.elapsed());
+    t.reset();
+    dot_result_ = dot();
+    out[4].best_seconds = std::min(out[4].best_seconds, t.elapsed());
+  }
+  return out;
+}
+
+double BabelStream::verify(int reps, double dot_result) const {
+  // Propagate the same sequence analytically.
+  double a = 0.1, b = 0.2, c = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    c = a;                  // copy
+    b = kScalar * c;        // mul
+    c = a + b;              // add
+    a = b + kScalar * c;    // triad
+  }
+  double err = 0.0;
+  for (idx_t i = 0; i < n_; ++i) {
+    err = std::max(err, std::abs(a_[static_cast<std::size_t>(i)] - a) /
+                            std::abs(a));
+    err = std::max(err, std::abs(b_[static_cast<std::size_t>(i)] - b) /
+                            std::abs(b));
+    err = std::max(err, std::abs(c_[static_cast<std::size_t>(i)] - c) /
+                            std::abs(c));
+  }
+  const double expected_dot = a * b * static_cast<double>(n_);
+  err = std::max(err, std::abs(dot_result - expected_dot) /
+                          std::abs(expected_dot));
+  return err;
+}
+
+}  // namespace bwlab::micro

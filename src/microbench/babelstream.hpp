@@ -1,0 +1,58 @@
+// BabelStream kernels (Copy / Mul / Add / Triad / Dot), host
+// implementation used for the real-measurement lane of Figure 1 and for
+// validating the bandwidth model's plumbing. The paper's absolute numbers
+// come from sim::BandwidthModel; these kernels demonstrate and test the
+// benchmark itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/types.hpp"
+#include "par/thread_pool.hpp"
+
+namespace bwlab::micro {
+
+struct StreamResult {
+  std::string kernel;
+  count_t bytes_per_iter = 0;
+  seconds_t best_seconds = 0;
+  double bandwidth() const {
+    return static_cast<double>(bytes_per_iter) / best_seconds;
+  }
+};
+
+class BabelStream {
+ public:
+  /// Three arrays of `n` doubles, initialized to the BabelStream values
+  /// (a=0.1, b=0.2, c=0.0).
+  BabelStream(idx_t n, par::ThreadPool& pool);
+
+  void copy();   // c = a
+  void mul();    // b = scalar * c
+  void add();    // c = a + b
+  void triad();  // a = b + scalar * c
+  double dot();  // sum(a * b)
+
+  /// Runs `reps` repetitions of every kernel and returns best-time
+  /// results in BabelStream order.
+  std::vector<StreamResult> run_all(int reps);
+
+  /// Verifies array contents against the analytically-propagated values
+  /// after run_all(reps); returns the max relative error.
+  double verify(int reps, double dot_result) const;
+
+  idx_t size() const { return n_; }
+  /// Dot result of the last run_all repetition (input to verify()).
+  double last_dot() const { return dot_result_; }
+  static constexpr double kScalar = 0.4;
+
+ private:
+  idx_t n_;
+  par::ThreadPool& pool_;
+  aligned_vector<double> a_, b_, c_;
+  double dot_result_ = 0.0;
+};
+
+}  // namespace bwlab::micro

@@ -1,0 +1,45 @@
+#include "microbench/c2c_latency.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace bwlab::micro {
+
+namespace {
+struct alignas(kCacheLineBytes) Line {
+  std::atomic<count_t> seq{0};
+};
+}  // namespace
+
+LatencyResult measure_host(int lines, count_t messages) {
+  BWLAB_REQUIRE(lines >= 1, "need at least one cache line");
+  std::vector<Line> ring(static_cast<std::size_t>(lines));
+
+  Timer timer;
+  // Writer: stamps increasing sequence numbers round-robin over the ring.
+  std::thread writer([&] {
+    for (count_t m = 1; m <= messages; ++m)
+      ring[static_cast<std::size_t>((m - 1) % static_cast<count_t>(lines))]
+          .seq.store(m, std::memory_order_release);
+  });
+  // Reader: waits for each stamp in order (the "one reader" side).
+  for (count_t m = 1; m <= messages; ++m) {
+    const auto slot =
+        static_cast<std::size_t>((m - 1) % static_cast<count_t>(lines));
+    while (ring[slot].seq.load(std::memory_order_acquire) < m) {
+      // spin — the latency under test is the cache-line transfer
+    }
+  }
+  writer.join();
+
+  LatencyResult r;
+  r.messages = messages;
+  r.ns_per_message = timer.elapsed() * 1e9 / static_cast<double>(messages);
+  return r;
+}
+
+}  // namespace bwlab::micro

@@ -1,0 +1,23 @@
+// Core-to-core message-latency microbenchmark — the reproduction of the
+// `core-to-core-latency` tool's "one writer / one reader on many cache
+// lines" test used in the paper's Figure 2. The host measurement runs two
+// threads ping-ponging sequence numbers through a ring of cache lines;
+// the modeled per-platform numbers come from sim::MachineModel.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace bwlab::micro {
+
+struct LatencyResult {
+  double ns_per_message = 0;
+  count_t messages = 0;
+};
+
+/// Measures one-way message latency between two host threads using
+/// `lines` cache lines in flight and `messages` total messages. On a
+/// single-core container the result reflects scheduling, not cache
+/// coherence — the binary reports it as "host" alongside the model.
+LatencyResult measure_host(int lines, count_t messages);
+
+}  // namespace bwlab::micro

@@ -1,0 +1,72 @@
+#include "op2/color.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace bwlab::op2 {
+
+Coloring color_set(const Set& from, const std::vector<const Map*>& maps) {
+  BWLAB_REQUIRE(!maps.empty(), "coloring needs at least one map");
+  for (const Map* m : maps)
+    BWLAB_REQUIRE(&m->from() == &from, "coloring maps must share the from-set");
+
+  const idx_t n = from.size();
+  Coloring out;
+  out.color.assign(static_cast<std::size_t>(n), -1);
+
+  // last_color_of_target[t] tracks, per target entity, the colors already
+  // used by elements touching it; we keep a compact per-target bitmask of
+  // up to 64 colors and fall back to linear probing beyond (meshes here
+  // need < 16 colors).
+  idx_t max_target = 0;
+  for (const Map* m : maps) max_target = std::max(max_target, m->to().size());
+  std::vector<std::uint64_t> used(static_cast<std::size_t>(max_target), 0);
+
+  int num_colors = 0;
+  for (idx_t e = 0; e < n; ++e) {
+    std::uint64_t forbidden = 0;
+    for (const Map* m : maps)
+      for (int s = 0; s < m->arity(); ++s) {
+        const idx_t t = (*m)(e, s);
+        if (t >= 0) forbidden |= used[static_cast<std::size_t>(t)];
+      }
+    int c = 0;
+    while (c < 64 && (forbidden >> c) & 1ULL) ++c;
+    BWLAB_REQUIRE(c < 64, "coloring exceeded 64 colors; mesh degenerate?");
+    out.color[static_cast<std::size_t>(e)] = c;
+    num_colors = std::max(num_colors, c + 1);
+    const std::uint64_t bit = 1ULL << c;
+    for (const Map* m : maps)
+      for (int s = 0; s < m->arity(); ++s) {
+        const idx_t t = (*m)(e, s);
+        if (t >= 0) used[static_cast<std::size_t>(t)] |= bit;
+      }
+  }
+
+  out.num_colors = num_colors;
+  out.by_color.resize(static_cast<std::size_t>(num_colors));
+  for (idx_t e = 0; e < n; ++e)
+    out.by_color[static_cast<std::size_t>(out.color[static_cast<std::size_t>(e)])]
+        .push_back(e);
+  return out;
+}
+
+bool Coloring::validate(const std::vector<const Map*>& maps) const {
+  for (const auto& elements : by_color) {
+    // Conflicts are per target *entity*: two maps into the same to-set
+    // hitting the same index race just as one map does.
+    std::set<std::pair<const Set*, idx_t>> seen;
+    for (idx_t e : elements)
+      for (const Map* m : maps)
+        for (int s = 0; s < m->arity(); ++s) {
+          const idx_t t = (*m)(e, s);
+          if (t < 0) continue;
+          if (!seen.insert({&m->to(), t}).second) return false;
+        }
+  }
+  return true;
+}
+
+}  // namespace bwlab::op2

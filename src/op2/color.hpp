@@ -1,0 +1,30 @@
+// Greedy distance-1 coloring of loop elements that share indirect-increment
+// targets — the race-avoidance scheme the paper uses for the OpenMP and
+// SYCL variants of the unstructured applications [23]. Two elements get
+// different colors whenever they increment the same target element, so all
+// elements of one color can run concurrently.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "op2/set.hpp"
+
+namespace bwlab::op2 {
+
+struct Coloring {
+  int num_colors = 0;
+  std::vector<int> color;                   ///< per element
+  std::vector<std::vector<idx_t>> by_color; ///< element lists per color
+
+  /// Verifies the coloring is race-free for increments through `maps`:
+  /// no two same-colored elements share a (non -1) target. Test helper.
+  bool validate(const std::vector<const Map*>& maps) const;
+};
+
+/// Colors the elements of `from` so that no two elements of the same color
+/// share a target through any of `maps` (all maps must have the same from
+/// set). Greedy first-fit in element order.
+Coloring color_set(const Set& from, const std::vector<const Map*>& maps);
+
+}  // namespace bwlab::op2

@@ -1,0 +1,117 @@
+#include "op2/dist.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace bwlab::op2 {
+
+DistPlan build_dist_plan(const std::vector<idx_t>& edge_cells,
+                         const Partition& part) {
+  BWLAB_REQUIRE(edge_cells.size() % 2 == 0, "edge_cells must be pairs");
+  const idx_t nedges = static_cast<idx_t>(edge_cells.size() / 2);
+  const idx_t ncells = static_cast<idx_t>(part.part.size());
+  DistPlan plan;
+  plan.nparts = part.nparts;
+  plan.rank.resize(static_cast<std::size_t>(part.nparts));
+
+  auto owner_of_edge = [&](idx_t e) {
+    const idx_t c0 = edge_cells[static_cast<std::size_t>(2 * e)];
+    const idx_t c1 = edge_cells[static_cast<std::size_t>(2 * e + 1)];
+    const idx_t c = c0 >= 0 ? c0 : c1;
+    BWLAB_REQUIRE(c >= 0, "edge " << e << " touches no cell");
+    return part.part[static_cast<std::size_t>(c)];
+  };
+
+  // Owned cells, ascending global id (both sides of every exchange
+  // enumerate them identically).
+  for (idx_t c = 0; c < ncells; ++c)
+    plan.rank[static_cast<std::size_t>(part.part[static_cast<std::size_t>(c)])]
+        .cells_global.push_back(c);
+  for (RankLocal& r : plan.rank)
+    r.n_owned = static_cast<idx_t>(r.cells_global.size());
+
+  // Ghost discovery: for every rank, the remote cells its edges touch,
+  // grouped by owner, ascending global id within each group.
+  std::vector<std::map<int, std::vector<idx_t>>> ghosts(
+      static_cast<std::size_t>(part.nparts));
+  for (idx_t e = 0; e < nedges; ++e) {
+    const int own = owner_of_edge(e);
+    plan.rank[static_cast<std::size_t>(own)].edges_global.push_back(e);
+    for (int s = 0; s < 2; ++s) {
+      const idx_t c = edge_cells[static_cast<std::size_t>(2 * e + s)];
+      if (c < 0) continue;
+      const int cown = part.part[static_cast<std::size_t>(c)];
+      if (cown != own) ghosts[static_cast<std::size_t>(own)][cown].push_back(c);
+    }
+  }
+  for (std::size_t r = 0; r < ghosts.size(); ++r)
+    for (auto& [nbr, ids] : ghosts[r]) {
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    }
+
+  // Neighbor lists are symmetric unions so every send has a matching
+  // receive even when ghosting is one-sided.
+  for (int a = 0; a < part.nparts; ++a)
+    for (const auto& [b, ids] : ghosts[static_cast<std::size_t>(a)]) {
+      (void)ids;
+      auto add = [&](int x, int y) {
+        auto& v = plan.rank[static_cast<std::size_t>(x)].neighbors;
+        if (std::find(v.begin(), v.end(), y) == v.end()) v.push_back(y);
+      };
+      add(a, b);
+      add(b, a);
+    }
+  for (RankLocal& r : plan.rank)
+    std::sort(r.neighbors.begin(), r.neighbors.end());
+
+  // Ghost layout + matched send lists.
+  for (int a = 0; a < part.nparts; ++a) {
+    RankLocal& ra = plan.rank[static_cast<std::size_t>(a)];
+    std::map<idx_t, idx_t> global_to_local;
+    for (idx_t l = 0; l < ra.n_owned; ++l)
+      global_to_local[ra.cells_global[static_cast<std::size_t>(l)]] = l;
+
+    ra.send_ids.resize(ra.neighbors.size());
+    ra.recv_begin.resize(ra.neighbors.size());
+    ra.recv_count.resize(ra.neighbors.size());
+    for (std::size_t k = 0; k < ra.neighbors.size(); ++k) {
+      const int b = ra.neighbors[k];
+      // Receive block: my ghosts owned by b, ascending global id.
+      const auto it = ghosts[static_cast<std::size_t>(a)].find(b);
+      ra.recv_begin[k] = static_cast<idx_t>(ra.cells_global.size());
+      if (it != ghosts[static_cast<std::size_t>(a)].end()) {
+        for (idx_t g : it->second) {
+          global_to_local[g] = static_cast<idx_t>(ra.cells_global.size());
+          ra.cells_global.push_back(g);
+        }
+        ra.recv_count[k] = static_cast<idx_t>(it->second.size());
+      } else {
+        ra.recv_count[k] = 0;
+      }
+      // Send block: b's ghosts that I own — enumerated exactly as b
+      // enumerates its receive block from me (ascending global id).
+      const auto bt = ghosts[static_cast<std::size_t>(b)].find(a);
+      if (bt != ghosts[static_cast<std::size_t>(b)].end()) {
+        for (idx_t g : bt->second) {
+          BWLAB_REQUIRE(part.part[static_cast<std::size_t>(g)] == a,
+                        "ghost ownership mismatch");
+          ra.send_ids[k].push_back(global_to_local.at(g));
+        }
+      }
+    }
+
+    // Remap this rank's edges to local cell indices.
+    ra.edge_cells_local.reserve(ra.edges_global.size() * 2);
+    for (idx_t e : ra.edges_global)
+      for (int s = 0; s < 2; ++s) {
+        const idx_t c = edge_cells[static_cast<std::size_t>(2 * e + s)];
+        ra.edge_cells_local.push_back(c < 0 ? -1 : global_to_local.at(c));
+      }
+  }
+  return plan;
+}
+
+}  // namespace bwlab::op2

@@ -1,0 +1,176 @@
+#include "op2/meshgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "op2/par_loop.hpp"
+
+namespace bwlab::op2 {
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::Serial: return "serial";
+    case Mode::Vec: return "vec";
+    case Mode::Colored: return "colored";
+  }
+  return "?";
+}
+
+std::vector<idx_t> hex_permutation(idx_t ncells, std::uint64_t seed) {
+  std::vector<idx_t> perm(static_cast<std::size_t>(ncells));
+  for (idx_t i = 0; i < ncells; ++i) perm[static_cast<std::size_t>(i)] = i;
+  if (seed == 0) return perm;
+  SplitMix64 rng(seed);
+  // Fisher-Yates
+  for (idx_t i = ncells - 1; i > 0; --i) {
+    const idx_t j = static_cast<idx_t>(rng.below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+TriMesh make_tri_mesh(idx_t nx, idx_t ny, double lx, double ly,
+                      std::uint64_t renumber_seed) {
+  BWLAB_REQUIRE(nx >= 1 && ny >= 1, "tri mesh needs nx, ny >= 1");
+  TriMesh m;
+  m.lx = lx;
+  m.ly = ly;
+  m.ncells = 2 * nx * ny;
+  const double dx = lx / static_cast<double>(nx);
+  const double dy = ly / static_cast<double>(ny);
+
+  const std::vector<idx_t> perm = hex_permutation(m.ncells, renumber_seed);
+  // Quad (i,j) splits along its SW-NE diagonal into lower triangle L
+  // (nodes SW,SE,NE) and upper triangle U (nodes SW,NE,NW).
+  auto lower = [&](idx_t i, idx_t j) {
+    return perm[static_cast<std::size_t>(2 * (j * nx + i))];
+  };
+  auto upper = [&](idx_t i, idx_t j) {
+    return perm[static_cast<std::size_t>(2 * (j * nx + i) + 1)];
+  };
+
+  m.cell_cx.resize(static_cast<std::size_t>(m.ncells));
+  m.cell_cy.resize(static_cast<std::size_t>(m.ncells));
+  m.cell_area.assign(static_cast<std::size_t>(m.ncells), 0.5 * dx * dy);
+  for (idx_t j = 0; j < ny; ++j)
+    for (idx_t i = 0; i < nx; ++i) {
+      const double x0 = static_cast<double>(i) * dx;
+      const double y0 = static_cast<double>(j) * dy;
+      // centroids of the two triangles
+      m.cell_cx[static_cast<std::size_t>(lower(i, j))] = x0 + 2.0 / 3.0 * dx;
+      m.cell_cy[static_cast<std::size_t>(lower(i, j))] = y0 + 1.0 / 3.0 * dy;
+      m.cell_cx[static_cast<std::size_t>(upper(i, j))] = x0 + 1.0 / 3.0 * dx;
+      m.cell_cy[static_cast<std::size_t>(upper(i, j))] = y0 + 2.0 / 3.0 * dy;
+    }
+
+  auto add_edge = [&](idx_t c0, idx_t c1, double nrm_x, double nrm_y,
+                      double len) {
+    m.edge_cells.push_back(c0);
+    m.edge_cells.push_back(c1);
+    m.edge_nx.push_back(nrm_x);
+    m.edge_ny.push_back(nrm_y);
+    m.edge_len.push_back(len);
+  };
+
+  const double diag = std::sqrt(dx * dx + dy * dy);
+  for (idx_t j = 0; j < ny; ++j)
+    for (idx_t i = 0; i < nx; ++i) {
+      // Diagonal edge between the quad's own two triangles; normal from
+      // lower (below the SW-NE diagonal) towards upper: (-dy, dx)/|d|.
+      add_edge(lower(i, j), upper(i, j), -dy / diag, dx / diag, diag);
+      // South edge of the lower triangle: neighbor is upper(i, j-1).
+      add_edge(lower(i, j), j > 0 ? upper(i, j - 1) : -1, 0.0, -1.0, dx);
+      // East edge of the lower triangle: neighbor is upper(i+1, j).
+      add_edge(lower(i, j), i + 1 < nx ? upper(i + 1, j) : -1, 1.0, 0.0, dy);
+      // West edge of the upper triangle (boundary only; interior west
+      // neighbors were added as that quad's east edge).
+      if (i == 0) add_edge(upper(i, j), -1, -1.0, 0.0, dy);
+      // North edge of the upper triangle (boundary only).
+      if (j == ny - 1) add_edge(upper(i, j), -1, 0.0, 1.0, dx);
+    }
+  m.nedges = static_cast<idx_t>(m.edge_len.size());
+  return m;
+}
+
+namespace {
+HexMesh build_hex(idx_t ni, idx_t nj, idx_t nk,
+                  const std::vector<idx_t>& perm) {
+  HexMesh m;
+  m.ncells = ni * nj * nk;
+  const double dx = 1.0 / static_cast<double>(ni);
+  const double dy = 1.0 / static_cast<double>(nj);
+  const double dz = 1.0 / static_cast<double>(nk);
+
+  auto cell = [&](idx_t i, idx_t j, idx_t k) {
+    return perm[static_cast<std::size_t>((k * nj + j) * ni + i)];
+  };
+
+  m.cell_vol.assign(static_cast<std::size_t>(m.ncells), dx * dy * dz);
+  m.cell_cx.resize(static_cast<std::size_t>(m.ncells));
+  m.cell_cy.resize(static_cast<std::size_t>(m.ncells));
+  m.cell_cz.resize(static_cast<std::size_t>(m.ncells));
+  for (idx_t k = 0; k < nk; ++k)
+    for (idx_t j = 0; j < nj; ++j)
+      for (idx_t i = 0; i < ni; ++i) {
+        const idx_t c = cell(i, j, k);
+        m.cell_cx[static_cast<std::size_t>(c)] = (static_cast<double>(i) + 0.5) * dx;
+        m.cell_cy[static_cast<std::size_t>(c)] = (static_cast<double>(j) + 0.5) * dy;
+        m.cell_cz[static_cast<std::size_t>(c)] = (static_cast<double>(k) + 0.5) * dz;
+      }
+
+  auto add_face = [&](idx_t c0, idx_t c1, double nx, double ny, double nz,
+                      double area) {
+    m.face_cells.push_back(c0);
+    m.face_cells.push_back(c1);
+    m.face_nx.push_back(nx);
+    m.face_ny.push_back(ny);
+    m.face_nz.push_back(nz);
+    m.face_area.push_back(area);
+  };
+
+  for (idx_t k = 0; k < nk; ++k)
+    for (idx_t j = 0; j < nj; ++j)
+      for (idx_t i = 0; i < ni; ++i) {
+        const idx_t c = cell(i, j, k);
+        // +x, +y, +z faces owned by this cell; boundary faces on all sides.
+        add_face(c, i + 1 < ni ? cell(i + 1, j, k) : -1, 1, 0, 0, dy * dz);
+        add_face(c, j + 1 < nj ? cell(i, j + 1, k) : -1, 0, 1, 0, dx * dz);
+        add_face(c, k + 1 < nk ? cell(i, j, k + 1) : -1, 0, 0, 1, dx * dy);
+        if (i == 0) add_face(c, -1, -1, 0, 0, dy * dz);
+        if (j == 0) add_face(c, -1, 0, -1, 0, dx * dz);
+        if (k == 0) add_face(c, -1, 0, 0, -1, dx * dy);
+      }
+  m.nfaces = static_cast<idx_t>(m.face_area.size());
+  return m;
+}
+}  // namespace
+
+HexMesh make_hex_mesh(idx_t ni, idx_t nj, idx_t nk,
+                      std::uint64_t renumber_seed) {
+  BWLAB_REQUIRE(ni >= 1 && nj >= 1 && nk >= 1, "hex mesh needs n >= 1");
+  return build_hex(ni, nj, nk, hex_permutation(ni * nj * nk, renumber_seed));
+}
+
+MgLevel coarsen_hex(idx_t ni, idx_t nj, idx_t nk,
+                    const std::vector<idx_t>& fine_perm,
+                    std::uint64_t renumber_seed) {
+  const idx_t ci = (ni + 1) / 2, cj = (nj + 1) / 2, ck = (nk + 1) / 2;
+  MgLevel lvl;
+  const std::vector<idx_t> cperm =
+      hex_permutation(ci * cj * ck, renumber_seed);
+  lvl.coarse = build_hex(ci, cj, ck, cperm);
+  lvl.fine_to_coarse.resize(static_cast<std::size_t>(ni * nj * nk));
+  for (idx_t k = 0; k < nk; ++k)
+    for (idx_t j = 0; j < nj; ++j)
+      for (idx_t i = 0; i < ni; ++i) {
+        const idx_t f = fine_perm[static_cast<std::size_t>((k * nj + j) * ni + i)];
+        const idx_t c =
+            cperm[static_cast<std::size_t>(((k / 2) * cj + j / 2) * ci + i / 2)];
+        lvl.fine_to_coarse[static_cast<std::size_t>(f)] = c;
+      }
+  return lvl;
+}
+
+}  // namespace bwlab::op2

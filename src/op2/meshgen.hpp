@@ -1,0 +1,66 @@
+// Synthetic unstructured meshes, substituting the paper's proprietary
+// inputs (NASA Rotor37 for MG-CFD, the Indian-Ocean bathymetry for Volna).
+// The generators produce genuinely unstructured connectivity (explicit
+// edge/face-to-cell maps with optional randomized renumbering that
+// destroys index locality the way production mesh numbering does), with
+// full geometry (normals, areas/volumes, centroids), so the applications'
+// indirect-access kernels behave like their production counterparts.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bwlab::op2 {
+
+/// Triangle mesh of an nx x ny rectangle (each grid quad split into two
+/// triangles). Used by the Volna reproduction.
+struct TriMesh {
+  idx_t ncells = 0;
+  idx_t nedges = 0;
+  // edge -> the two adjacent cells; cell1 == -1 on the domain boundary.
+  std::vector<idx_t> edge_cells;
+  // unit normal (oriented cell0 -> cell1) and length per edge
+  std::vector<double> edge_nx, edge_ny, edge_len;
+  // centroid and area per cell
+  std::vector<double> cell_cx, cell_cy, cell_area;
+  double lx = 0, ly = 0;
+};
+
+/// Builds the triangle mesh. `renumber_seed != 0` applies a deterministic
+/// random permutation to cell indices (production meshes are not
+/// lexicographically ordered; this reproduces the locality loss).
+TriMesh make_tri_mesh(idx_t nx, idx_t ny, double lx, double ly,
+                      std::uint64_t renumber_seed = 0);
+
+/// Hexahedral mesh of an ni x nj x nk block (an idealized annulus sector),
+/// exposed as unstructured cells + interior/boundary faces. Used by the
+/// MG-CFD reproduction.
+struct HexMesh {
+  idx_t ncells = 0;
+  idx_t nfaces = 0;
+  std::vector<idx_t> face_cells;  // 2 per face; cell1 == -1 on the boundary
+  std::vector<double> face_nx, face_ny, face_nz, face_area;
+  std::vector<double> cell_vol, cell_cx, cell_cy, cell_cz;
+};
+
+HexMesh make_hex_mesh(idx_t ni, idx_t nj, idx_t nk,
+                      std::uint64_t renumber_seed = 0);
+
+/// Multigrid restriction map for a HexMesh built by coarsening each
+/// dimension by 2 (MG-CFD's mesh hierarchy): fine cell -> coarse cell.
+/// The coarse mesh has ceil(n/2) cells per dimension.
+struct MgLevel {
+  HexMesh coarse;
+  std::vector<idx_t> fine_to_coarse;  // one entry per fine cell
+};
+
+MgLevel coarsen_hex(idx_t ni, idx_t nj, idx_t nk,
+                    const std::vector<idx_t>& fine_perm,
+                    std::uint64_t renumber_seed = 0);
+
+/// The permutation used by make_hex_mesh for a given seed (old -> new),
+/// needed to build consistent multigrid maps. Identity when seed == 0.
+std::vector<idx_t> hex_permutation(idx_t ncells, std::uint64_t seed);
+
+}  // namespace bwlab::op2

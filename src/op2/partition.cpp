@@ -1,0 +1,102 @@
+#include "op2/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace bwlab::op2 {
+
+namespace {
+
+struct Rcb {
+  const std::vector<double>* coords[3];
+  std::vector<int>* part;
+
+  void split(std::vector<idx_t>& ids, int part_lo, int nparts) {
+    if (nparts == 1) {
+      for (idx_t e : ids) (*part)[static_cast<std::size_t>(e)] = part_lo;
+      return;
+    }
+    // Widest axis of the bounding box.
+    int axis = 0;
+    double best_span = -1;
+    for (int a = 0; a < 3; ++a) {
+      if (coords[a] == nullptr || coords[a]->empty()) continue;
+      double lo = 1e300, hi = -1e300;
+      for (idx_t e : ids) {
+        const double v = (*coords[a])[static_cast<std::size_t>(e)];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi - lo > best_span) {
+        best_span = hi - lo;
+        axis = a;
+      }
+    }
+    const int left_parts = nparts / 2;
+    const int right_parts = nparts - left_parts;
+    const std::size_t cut =
+        ids.size() * static_cast<std::size_t>(left_parts) /
+        static_cast<std::size_t>(nparts);
+    std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(cut),
+                     ids.end(), [&](idx_t a, idx_t b) {
+                       return (*coords[axis])[static_cast<std::size_t>(a)] <
+                              (*coords[axis])[static_cast<std::size_t>(b)];
+                     });
+    std::vector<idx_t> left(ids.begin(),
+                            ids.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<idx_t> right(ids.begin() + static_cast<std::ptrdiff_t>(cut),
+                             ids.end());
+    ids.clear();
+    ids.shrink_to_fit();
+    split(left, part_lo, left_parts);
+    split(right, part_lo + left_parts, right_parts);
+  }
+};
+
+}  // namespace
+
+Partition rcb_partition(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const std::vector<double>& z, int nparts) {
+  BWLAB_REQUIRE(nparts >= 1, "nparts must be >= 1");
+  BWLAB_REQUIRE(x.size() == y.size() && (z.empty() || z.size() == x.size()),
+                "coordinate arrays must agree in size");
+  Partition p;
+  p.nparts = nparts;
+  p.part.assign(x.size(), 0);
+  std::vector<idx_t> ids(x.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  Rcb rcb{{&x, &y, z.empty() ? nullptr : &z}, &p.part};
+  rcb.split(ids, 0, nparts);
+  return p;
+}
+
+std::vector<idx_t> Partition::part_sizes() const {
+  std::vector<idx_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (int pid : part) ++sizes[static_cast<std::size_t>(pid)];
+  return sizes;
+}
+
+count_t Partition::cut_edges(const std::vector<idx_t>& edge_cells) const {
+  count_t cut = 0;
+  for (std::size_t e = 0; e + 1 < edge_cells.size() + 1; e += 2) {
+    const idx_t a = edge_cells[e], b = edge_cells[e + 1];
+    if (a < 0 || b < 0) continue;
+    if (part[static_cast<std::size_t>(a)] != part[static_cast<std::size_t>(b)])
+      ++cut;
+  }
+  return cut;
+}
+
+double Partition::cut_fraction(const std::vector<idx_t>& edge_cells) const {
+  count_t interior = 0;
+  for (std::size_t e = 0; e + 1 < edge_cells.size() + 1; e += 2)
+    if (edge_cells[e] >= 0 && edge_cells[e + 1] >= 0) ++interior;
+  return interior ? static_cast<double>(cut_edges(edge_cells)) /
+                        static_cast<double>(interior)
+                  : 0.0;
+}
+
+}  // namespace bwlab::op2

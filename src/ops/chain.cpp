@@ -1,0 +1,187 @@
+#include "ops/chain.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/timer.hpp"
+#include "ops/dat.hpp"
+
+namespace bwlab::ops {
+
+void ChainQueue::enqueue(ChainLoop loop) {
+  for (const ChainDatUse& u : loop.uses)
+    loop.read_radius = std::max(loop.read_radius, u.read_radius);
+  loops_.push_back(std::move(loop));
+}
+
+int ChainQueue::min_halo_depth_read() const {
+  int depth = 1 << 30;
+  for (const ChainLoop& l : loops_)
+    for (const ChainDatUse& u : l.uses)
+      if (u.is_read) depth = std::min(depth, u.halo_depth);
+  return depth;
+}
+
+void ChainQueue::exchange_chain_inputs() {
+  // One deep exchange per dat read anywhere in the chain; exchanging a
+  // dat twice is a no-op because the dirty flag clears.
+  std::set<const void*> done;
+  for (const ChainLoop& l : loops_)
+    for (const ChainDatUse& u : l.uses)
+      if (u.is_read && done.insert(u.id).second) u.exchange();
+}
+
+std::array<bool, 3> ChainQueue::chain_periodicity() const {
+  std::array<bool, 3> wrap{false, false, false};
+  bool first = true;
+  for (const ChainLoop& l : loops_)
+    for (const ChainDatUse& u : l.uses) {
+      if (first) {
+        wrap = u.periodic;
+        first = false;
+        continue;
+      }
+      for (int d = 0; d < 3; ++d)
+        BWLAB_REQUIRE(wrap[static_cast<std::size_t>(d)] ==
+                          u.periodic[static_cast<std::size_t>(d)],
+                      "tiled chains require uniform periodicity; dat '"
+                          << u.name << "' differs in dim " << d);
+    }
+  return wrap;
+}
+
+Range ChainQueue::extended_local_range(
+    const ChainLoop& loop, int ext, const std::array<bool, 3>& wrap) const {
+  const Block& b = *loop.block;
+  Range out = loop.range;
+  for (int d = 0; d < b.ndims(); ++d) {
+    const auto ds = static_cast<std::size_t>(d);
+    const auto [lo, hi] = b.own_range(d);
+    idx_t exec_hi = hi;
+    if (b.is_high_edge(d))
+      exec_hi = std::max(exec_hi, std::min(loop.range.hi[ds], b.size(d) + 1));
+    out.lo[ds] = std::max(loop.range.lo[ds], lo - ext);
+    out.hi[ds] = std::min(loop.range.hi[ds], exec_hi + ext);
+    if (wrap[ds]) {
+      // Periodic: redundant compute continues into the ghost region even
+      // at the domain edge (the recomputation IS the wrap image).
+      out.lo[ds] = lo - ext;
+      out.hi[ds] = exec_hi + ext;
+    } else {
+      // Never extend past a non-periodic physical domain edge.
+      if (b.is_low_edge(d))
+        out.lo[ds] = std::max(out.lo[ds], loop.range.lo[ds]);
+      if (b.is_high_edge(d))
+        out.hi[ds] = std::min(out.hi[ds], loop.range.hi[ds]);
+    }
+  }
+  return out;
+}
+
+void ChainQueue::execute_untiled() {
+  BWLAB_REQUIRE(!ctx_->lazy(),
+                "disable lazy mode before executing the captured chain");
+  for (ChainLoop& l : loops_) {
+    for (const ChainDatUse& u : l.uses)
+      if (u.is_read && u.read_radius > 0) u.exchange();
+    const Range local =
+        extended_local_range(l, 0, {false, false, false});
+    Timer t;
+    if (!local.empty()) l.body(local);
+    ctx_->instr().loop(l.name).host_seconds += t.elapsed();
+    for (const ChainDatUse& u : l.uses)
+      if (u.is_written) u.mark_dirty();
+  }
+  loops_.clear();
+}
+
+void ChainQueue::execute_tiled(idx_t tile_outer) {
+  BWLAB_REQUIRE(!ctx_->lazy(),
+                "disable lazy mode before executing the captured chain");
+  if (loops_.empty()) return;
+  const int n = static_cast<int>(loops_.size());
+
+  // Skew offsets: sigma_i = sum of read radii of loops AFTER i. Loop i is
+  // shifted up by sigma_i so that for j < i, sigma_j - sigma_i >= r_i:
+  // every read of loop i lands on rows loop j has already produced within
+  // this or an earlier tile.
+  std::vector<int> sigma(static_cast<std::size_t>(n), 0);
+  for (int i = n - 2; i >= 0; --i)
+    sigma[static_cast<std::size_t>(i)] =
+        sigma[static_cast<std::size_t>(i + 1)] +
+        loops_[static_cast<std::size_t>(i + 1)].read_radius;
+
+  // Halo depth must cover the redundant-compute extension plus the reads
+  // of the first loop.
+  const int needed_depth =
+      sigma[0] + loops_[0].read_radius;
+  BWLAB_REQUIRE(min_halo_depth_read() >= needed_depth,
+                "tiled chain needs halo depth >= " << needed_depth
+                                                   << " on all read dats");
+
+  exchange_chain_inputs();
+  const std::array<bool, 3> wrap = chain_periodicity();
+
+  // Extended local ranges (redundant compute into halos; extension for
+  // loop i must cover everything later loops re-read: ext_i = sigma_i).
+  std::vector<Range> ext(static_cast<std::size_t>(n));
+  int outer_dim = 0;
+  for (int i = 0; i < n; ++i) {
+    ext[static_cast<std::size_t>(i)] = extended_local_range(
+        loops_[static_cast<std::size_t>(i)], sigma[static_cast<std::size_t>(i)],
+        wrap);
+    outer_dim = std::max(outer_dim,
+                         loops_[static_cast<std::size_t>(i)].block->ndims() - 1);
+  }
+
+  // Tile-boundary axis: spans every loop's extended outer range shifted
+  // down by its skew.
+  idx_t axis_lo = 1 << 30, axis_hi = -(1LL << 30);
+  for (int i = 0; i < n; ++i) {
+    const auto& r = ext[static_cast<std::size_t>(i)];
+    const auto od = static_cast<std::size_t>(outer_dim);
+    axis_lo = std::min(axis_lo, r.lo[od] - sigma[static_cast<std::size_t>(i)]);
+    axis_hi = std::max(axis_hi, r.hi[od] - sigma[static_cast<std::size_t>(i)]);
+  }
+  if (tile_outer <= 0) tile_outer = std::max<idx_t>(8, (axis_hi - axis_lo) / 8);
+
+  for (idx_t b0 = axis_lo; b0 < axis_hi; b0 += tile_outer) {
+    const idx_t b1 = std::min(axis_hi, b0 + tile_outer);
+    for (int i = 0; i < n; ++i) {
+      ChainLoop& l = loops_[static_cast<std::size_t>(i)];
+      Range r = ext[static_cast<std::size_t>(i)];
+      const auto od = static_cast<std::size_t>(outer_dim);
+      const idx_t s = sigma[static_cast<std::size_t>(i)];
+      r.lo[od] = std::max(r.lo[od], b0 + s);
+      r.hi[od] = std::min(r.hi[od], b1 + s);
+      if (r.empty()) continue;
+      Timer t;
+      l.body(r);
+      ctx_->instr().loop(l.name).host_seconds += t.elapsed();
+      // Physical-boundary ghosts of freshly-written dats must track the
+      // interior inside the chain (reads in the next loops of this tile
+      // touch only rows this refresh sees as current).
+      for (const ChainDatUse& u : l.uses)
+        if (u.is_written) u.refresh_bcs(r.lo[od], r.hi[od]);
+    }
+  }
+
+  for (const ChainLoop& l : loops_)
+    for (const ChainDatUse& u : l.uses)
+      if (u.is_written) u.mark_dirty();
+  loops_.clear();
+}
+
+void enqueue_lazy(Context& ctx, const LoopMeta& meta, Block& b,
+                  const Range& range, std::function<void(const Range&)> body,
+                  std::vector<ChainDatUse> uses) {
+  ChainLoop loop;
+  loop.name = meta.name;
+  loop.block = &b;
+  loop.range = range;
+  loop.body = std::move(body);
+  loop.uses = std::move(uses);
+  ctx.chain().enqueue(std::move(loop));
+}
+
+}  // namespace bwlab::ops

@@ -1,0 +1,104 @@
+// Lazy loop-chain capture and cache-blocking tiled execution — the
+// reproduction of the OPS run-time tiling algorithm (Reguly, Mudalige,
+// Giles, TPDS 2017 [21]) evaluated in the paper's Figure 9.
+//
+// In lazy mode, par_loop enqueues loops instead of executing them. On
+// execute_tiled(h):
+//  * all dats read anywhere in the chain are halo-exchanged ONCE with deep
+//    halos (this is the communication-frequency reduction the paper
+//    mentions),
+//  * every loop's local range is extended into the halo region by the
+//    suffix-sum of downstream read radii (redundant computation along MPI
+//    boundaries — the paper's stated cost),
+//  * the outermost dimension is cut into tiles of height `h`; tiles are
+//    executed in order, and within a tile the loops run in chain order
+//    over skewed sub-ranges: loop i is shifted up by the suffix radius sum
+//    so every read of an earlier loop's output lands on already-computed
+//    rows. The union of a loop's sub-ranges across tiles is exactly its
+//    range — no point is executed twice within a rank.
+//  * physical-boundary ghost fills of written dats are refreshed after
+//    each producing loop inside each tile, so boundary reads observe
+//    current values exactly as in untiled execution.
+//
+// The result is bitwise identical to untiled execution (tested), while
+// the traffic of a chain of N loops over a tile that fits in cache is
+// served from cache rather than DRAM.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ops/access.hpp"
+#include "ops/context.hpp"
+
+namespace bwlab::ops {
+
+class Block;
+
+/// Type-erased record of how a chained loop uses one dat.
+struct ChainDatUse {
+  const void* id = nullptr;  ///< dat identity (address)
+  std::string name;
+  bool is_read = false;
+  bool is_written = false;
+  int read_radius = 0;  ///< max stencil radius of the read
+  int halo_depth = 0;
+  std::array<bool, 3> periodic{false, false, false};
+  std::function<void()> exchange;    ///< Dat::exchange_halos
+  std::function<void()> mark_dirty;  ///< Dat::mark_halos_dirty
+  /// Dat::refresh_physical_bcs restricted to outer rows [lo, hi).
+  std::function<void(idx_t, idx_t)> refresh_bcs;
+};
+
+/// One captured loop.
+struct ChainLoop {
+  std::string name;
+  Block* block = nullptr;
+  Range range;  ///< global range as supplied by the app
+  int read_radius = 0;
+  std::vector<ChainDatUse> uses;
+  std::function<void(const Range&)> body;  ///< executes exactly the given range
+};
+
+class ChainQueue {
+ public:
+  explicit ChainQueue(Context& ctx) : ctx_(&ctx) {}
+
+  void enqueue(ChainLoop loop);
+  std::size_t size() const { return loops_.size(); }
+  bool empty() const { return loops_.empty(); }
+  void clear() { loops_.clear(); }
+
+  /// Tiled execution (see file header). `tile_outer` is the tile height in
+  /// the outermost dimension; pass 0 to pick sqrt-ish default.
+  void execute_tiled(idx_t tile_outer);
+
+  /// Reference execution: loop-by-loop with per-loop halo exchanges, same
+  /// semantics as eager mode. Used to validate tiling.
+  void execute_untiled();
+
+ private:
+  /// Local range of `loop` extended by `ext` into the halo (redundant
+  /// compute). At non-periodic physical edges the extension is clamped to
+  /// the loop's global range (boundary ghosts are handled by refresh_bcs);
+  /// at periodic edges (wrap[d]) it extends into the ghost region, where
+  /// the recomputed values are exactly the periodic images.
+  Range extended_local_range(const ChainLoop& loop, int ext,
+                             const std::array<bool, 3>& wrap) const;
+  void exchange_chain_inputs();
+  int min_halo_depth_read() const;
+  /// Per-dimension periodicity of the chain (must be uniform over dats).
+  std::array<bool, 3> chain_periodicity() const;
+
+  Context* ctx_;
+  std::vector<ChainLoop> loops_;
+};
+
+/// Called by par_loop in lazy mode.
+void enqueue_lazy(Context& ctx, const LoopMeta& meta, Block& b,
+                  const Range& range, std::function<void(const Range&)> body,
+                  std::vector<ChainDatUse> uses);
+
+}  // namespace bwlab::ops

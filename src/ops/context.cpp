@@ -1,0 +1,22 @@
+#include "ops/context.hpp"
+
+#include "ops/chain.hpp"
+
+namespace bwlab::ops {
+
+Context::Context(int threads) {
+  if (threads > 1) pool_ = std::make_unique<par::ThreadPool>(threads);
+}
+
+Context::Context(par::Comm& comm, int threads) : comm_(&comm) {
+  if (threads > 1) pool_ = std::make_unique<par::ThreadPool>(threads);
+}
+
+Context::~Context() = default;
+
+ChainQueue& Context::chain() {
+  if (!chain_) chain_ = std::make_unique<ChainQueue>(*this);
+  return *chain_;
+}
+
+}  // namespace bwlab::ops

@@ -1,0 +1,58 @@
+// Per-rank execution context of the mini-OPS runtime: the communicator
+// (null when running single-rank), the thread team used inside a rank
+// (the "OpenMP" lane), instrumentation, and the lazy-execution switch used
+// by the cache-blocking tiling executor.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "common/instrument.hpp"
+#include "par/simmpi.hpp"
+#include "par/thread_pool.hpp"
+
+namespace bwlab::ops {
+
+class ChainQueue;  // defined in ops/chain.hpp
+
+class Context {
+ public:
+  /// Single-rank context with `threads` team threads.
+  explicit Context(int threads = 1);
+  /// Distributed context: one of `comm->size()` ranks, each with a thread
+  /// team (threads == 1 reproduces the "pure MPI" lane, threads > 1 the
+  /// "MPI+OpenMP" lane).
+  Context(par::Comm& comm, int threads);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  int rank() const { return comm_ ? comm_->rank() : 0; }
+  int nranks() const { return comm_ ? comm_->size() : 1; }
+  par::Comm* comm() { return comm_; }
+  par::ThreadPool* pool() { return pool_.get(); }
+  int threads() const { return pool_ ? pool_->size() : 1; }
+
+  Instrumentation& instr() { return instr_; }
+  const Instrumentation& instr() const { return instr_; }
+
+  /// Lazy mode: par_loop calls enqueue into the chain queue instead of
+  /// executing; ChainQueue::execute_tiled() runs them (ops/chain.hpp).
+  bool lazy() const { return lazy_; }
+  void set_lazy(bool lazy) { lazy_ = lazy; }
+  ChainQueue& chain();
+
+  /// Monotone id source for Dats (used to build unique message tags).
+  int next_dat_id() { return dat_id_counter_++; }
+
+ private:
+  par::Comm* comm_ = nullptr;
+  std::unique_ptr<par::ThreadPool> pool_;
+  Instrumentation instr_;
+  bool lazy_ = false;
+  std::unique_ptr<ChainQueue> chain_;
+  int dat_id_counter_ = 0;
+};
+
+}  // namespace bwlab::ops

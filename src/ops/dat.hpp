@@ -1,0 +1,415 @@
+// Block and Dat: the distributed structured-mesh containers of mini-OPS.
+//
+// A Block describes the global index space and its cartesian decomposition
+// over ranks. A Dat is one field on a block: cell-centered or staggered
+// (+1 extent in selected dimensions), carrying a halo of configurable
+// depth, per-face physical boundary conditions, and lazy halo-exchange
+// state ("dirty" after a write; exchanged on the next read with a
+// non-trivial stencil — the paper's "ghost cell exchanges triggered as
+// needed").
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "ops/access.hpp"
+#include "ops/context.hpp"
+#include "par/partition.hpp"
+
+namespace bwlab::ops {
+
+class Block {
+ public:
+  Block(Context& ctx, std::string name, int ndims, std::array<idx_t, 3> size)
+      : ctx_(&ctx), name_(std::move(name)), ndims_(ndims), size_(size),
+        grid_(ctx.nranks(), ndims, size) {
+    BWLAB_REQUIRE(ndims >= 1 && ndims <= 3, "block ndims must be 1..3");
+    for (int d = ndims; d < 3; ++d)
+      BWLAB_REQUIRE(size_[static_cast<std::size_t>(d)] == 1,
+                    "unused dimensions must have extent 1");
+  }
+
+  Context& ctx() const { return *ctx_; }
+  const std::string& name() const { return name_; }
+  int ndims() const { return ndims_; }
+  idx_t size(int d) const { return size_[static_cast<std::size_t>(d)]; }
+  const par::CartGrid& grid() const { return grid_; }
+
+  /// Base-cell ownership range of this rank in dimension d.
+  std::pair<idx_t, idx_t> own_range(int d) const {
+    return grid_.local_range(ctx_->rank(), d);
+  }
+  /// Neighbor rank in dimension d, direction dir (-1/+1); -1 at the edge.
+  int neighbor(int d, int dir) const {
+    return grid_.neighbor(ctx_->rank(), d, dir);
+  }
+  /// Neighbor with periodic wrap-around.
+  int neighbor_periodic(int d, int dir) const {
+    auto c = grid_.coords(ctx_->rank());
+    auto& cd = c[static_cast<std::size_t>(d)];
+    cd = (cd + dir + grid_.dims[static_cast<std::size_t>(d)]) %
+         grid_.dims[static_cast<std::size_t>(d)];
+    return grid_.rank_at(c);
+  }
+  bool is_low_edge(int d) const {
+    return grid_.coords(ctx_->rank())[static_cast<std::size_t>(d)] == 0;
+  }
+  bool is_high_edge(int d) const {
+    return grid_.coords(ctx_->rank())[static_cast<std::size_t>(d)] ==
+           grid_.dims[static_cast<std::size_t>(d)] - 1;
+  }
+
+ private:
+  Context* ctx_;
+  std::string name_;
+  int ndims_;
+  std::array<idx_t, 3> size_;
+  par::CartGrid grid_;
+};
+
+template <class T>
+class Dat {
+ public:
+  /// Creates a field on `block`. `stagger[d]` of 1 makes the field
+  /// node-centered in dimension d (global extent size+1); `halo_depth`
+  /// must cover the largest read stencil ever applied to this dat.
+  Dat(Block& block, std::string name, int halo_depth = 1,
+      std::array<int, 3> stagger = {0, 0, 0}, T init = T{})
+      : block_(&block), name_(std::move(name)), id_(block.ctx().next_dat_id()),
+        depth_(halo_depth), stagger_(stagger) {
+    BWLAB_REQUIRE(halo_depth >= 0, "halo depth must be >= 0");
+    for (int d = 0; d < 3; ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      BWLAB_REQUIRE(stagger_[ds] == 0 || stagger_[ds] == 1,
+                    "stagger must be 0 or 1");
+      if (d < block.ndims()) {
+        const auto [lo, hi] = block.own_range(d);
+        own_lo_[ds] = lo;
+        own_hi_[ds] = hi;
+        exec_hi_[ds] = hi + (block.is_high_edge(d) ? stagger_[ds] : 0);
+        alo_[ds] = lo - depth_;
+        ahi_[ds] = hi + stagger_[ds] + depth_;
+        BWLAB_REQUIRE(hi - lo >= depth_ + stagger_[ds],
+                      "dat '" << name_ << "': local extent " << (hi - lo)
+                              << " in dim " << d
+                              << " smaller than halo depth+stagger");
+      } else {
+        own_lo_[ds] = 0;
+        own_hi_[ds] = exec_hi_[ds] = 1;
+        alo_[ds] = 0;
+        ahi_[ds] = 1;
+      }
+      bc_[ds][0] = bc_[ds][1] = Bc::CopyNearest;
+    }
+    sx_ = ahi_[0] - alo_[0];
+    sy_ = ahi_[1] - alo_[1];
+    data_.assign(static_cast<std::size_t>(sx_ * sy_ * (ahi_[2] - alo_[2])),
+                 init);
+  }
+
+  Block& block() const { return *block_; }
+  const std::string& name() const { return name_; }
+  int halo_depth() const { return depth_; }
+  int stagger(int d) const { return stagger_[static_cast<std::size_t>(d)]; }
+  static constexpr std::size_t elem_bytes() { return sizeof(T); }
+
+  /// Execution-ownership range of this rank (who computes which indices).
+  idx_t exec_lo(int d) const { return own_lo_[static_cast<std::size_t>(d)]; }
+  idx_t exec_hi(int d) const { return exec_hi_[static_cast<std::size_t>(d)]; }
+  /// Allocation bounds (exec range plus ghosts).
+  idx_t alloc_lo(int d) const { return alo_[static_cast<std::size_t>(d)]; }
+  idx_t alloc_hi(int d) const { return ahi_[static_cast<std::size_t>(d)]; }
+  /// Global extent of the field in dimension d (block size + stagger).
+  idx_t global_hi(int d) const {
+    return block_->size(d) + (d < block_->ndims()
+                                  ? stagger_[static_cast<std::size_t>(d)]
+                                  : 0);
+  }
+
+  /// Pointer to the element at *global* indices (i, j, k).
+  T* ptr(idx_t i, idx_t j = 0, idx_t k = 0) {
+    return data_.data() +
+           ((k - alo_[2]) * sy_ + (j - alo_[1])) * sx_ + (i - alo_[0]);
+  }
+  const T* ptr(idx_t i, idx_t j = 0, idx_t k = 0) const {
+    return data_.data() +
+           ((k - alo_[2]) * sy_ + (j - alo_[1])) * sx_ + (i - alo_[0]);
+  }
+  T& at(idx_t i, idx_t j = 0, idx_t k = 0) { return *ptr(i, j, k); }
+  const T& at(idx_t i, idx_t j = 0, idx_t k = 0) const {
+    return *ptr(i, j, k);
+  }
+  idx_t stride_x() const { return sx_; }
+  idx_t stride_y() const { return sy_; }
+
+  /// Boundary condition on face (dim d, side 0=low / 1=high).
+  void set_bc(int d, int side, Bc bc) {
+    bc_[static_cast<std::size_t>(d)][static_cast<std::size_t>(side)] = bc;
+  }
+  void set_bc_all(Bc bc) {
+    for (auto& per_dim : bc_) per_dim[0] = per_dim[1] = bc;
+  }
+  Bc bc(int d, int side) const {
+    return bc_[static_cast<std::size_t>(d)][static_cast<std::size_t>(side)];
+  }
+
+  bool halos_dirty() const { return dirty_; }
+  void mark_halos_dirty() { dirty_ = true; }
+
+  /// Performs the full halo update (messages to neighbors, BC fills at
+  /// physical boundaries, corner consistency via dimension ordering) and
+  /// clears the dirty flag. No-op if halos are clean or depth is 0.
+  void exchange_halos() {
+    if (!dirty_ || depth_ == 0) return;
+    for (int d = 0; d < block_->ndims(); ++d) exchange_dim(d);
+    dirty_ = false;
+  }
+
+  /// Re-applies the physical-boundary ghost fills (used by the tiled
+  /// chain executor to keep boundary ghosts current mid-chain). When
+  /// `outer_lo < outer_hi` the refresh is restricted, in the outermost
+  /// dimension, to rows intersecting [outer_lo - 2*depth, outer_hi +
+  /// 2*depth) — enough to cover every skewed read of the current tile
+  /// while keeping the per-tile cost proportional to the tile.
+  void refresh_physical_bcs(idx_t outer_lo = 0, idx_t outer_hi = -1) {
+    const int outer = block_->ndims() - 1;
+    for (int d = 0; d < block_->ndims(); ++d) {
+      const auto ds = static_cast<std::size_t>(d);
+      if (bc_[ds][0] == Bc::Periodic) continue;
+      Box low = base_box(d), high = base_box(d);
+      low.lo[ds] = exec_lo(d) - depth_;
+      low.hi[ds] = exec_lo(d);
+      high.lo[ds] = exec_hi(d);
+      high.hi[ds] =
+          exec_hi(d) + depth_ + stagger_[ds] - (exec_hi(d) - own_hi_[ds]);
+      if (outer_lo < outer_hi) {
+        // Restrict to the rows the current tile can read: for non-outer
+        // faces clamp the strip; for the outer faces themselves this
+        // skips strips the tile never reaches.
+        const auto os = static_cast<std::size_t>(outer);
+        const idx_t lo_clip = outer_lo - 2 * depth_;
+        const idx_t hi_clip = outer_hi + 2 * depth_;
+        low.lo[os] = std::max(low.lo[os], lo_clip);
+        low.hi[os] = std::min(low.hi[os], hi_clip);
+        high.lo[os] = std::max(high.lo[os], lo_clip);
+        high.hi[os] = std::min(high.hi[os], hi_clip);
+      }
+      if (block_->neighbor(d, -1) < 0) fill_bc(d, 0, low);
+      if (block_->neighbor(d, +1) < 0) fill_bc(d, 1, high);
+    }
+  }
+
+  /// Number of locally-owned points (product of exec extents).
+  count_t local_points() const {
+    count_t p = 1;
+    for (int d = 0; d < block_->ndims(); ++d)
+      p *= static_cast<count_t>(exec_hi(d) - exec_lo(d));
+    return p;
+  }
+
+  /// Fills the owned region (tests/initialization).
+  template <class F>
+  void fill_indexed(F&& f) {
+    for (idx_t k = exec_lo(2); k < exec_hi(2); ++k)
+      for (idx_t j = exec_lo(1); j < exec_hi(1); ++j)
+        for (idx_t i = exec_lo(0); i < exec_hi(0); ++i)
+          at(i, j, k) = f(i, j, k);
+    mark_halos_dirty();
+  }
+  void fill(T value) {
+    fill_indexed([&](idx_t, idx_t, idx_t) { return value; });
+  }
+
+ private:
+  // A box in global index space, [lo, hi) per dimension.
+  struct Box {
+    std::array<idx_t, 3> lo, hi;
+    idx_t points() const {
+      return (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+    }
+  };
+
+  void pack(const Box& b, std::vector<T>& buf) const {
+    buf.clear();
+    buf.reserve(static_cast<std::size_t>(b.points()));
+    for (idx_t k = b.lo[2]; k < b.hi[2]; ++k)
+      for (idx_t j = b.lo[1]; j < b.hi[1]; ++j) {
+        const T* row = ptr(b.lo[0], j, k);
+        buf.insert(buf.end(), row, row + (b.hi[0] - b.lo[0]));
+      }
+  }
+  void unpack(const Box& b, const std::vector<T>& buf) {
+    const T* src = buf.data();
+    for (idx_t k = b.lo[2]; k < b.hi[2]; ++k)
+      for (idx_t j = b.lo[1]; j < b.hi[1]; ++j) {
+        T* row = ptr(b.lo[0], j, k);
+        const idx_t n = b.hi[0] - b.lo[0];
+        std::copy(src, src + n, row);
+        src += n;
+      }
+  }
+
+  /// Extents of the exchange slab in the non-exchange dimensions: full
+  /// allocation for dimensions already exchanged (fills corners), exec
+  /// range for dimensions not yet exchanged.
+  Box base_box(int d) const {
+    Box b{};
+    for (int e = 0; e < 3; ++e) {
+      const auto es = static_cast<std::size_t>(e);
+      if (e < d) {
+        b.lo[es] = alo_[es];
+        b.hi[es] = ahi_[es];
+      } else {
+        b.lo[es] = exec_lo(e);
+        b.hi[es] = exec_hi(e);
+      }
+    }
+    return b;
+  }
+
+  void exchange_dim(int d) {
+    const auto ds = static_cast<std::size_t>(d);
+    Context& ctx = block_->ctx();
+    par::Comm* comm = ctx.comm();
+    ExchangeRecord& rec = ctx.instr().exchange(name_);
+    rec.halo_depth = depth_;
+    rec.elem_bytes = sizeof(T);
+    ++rec.exchanges;
+
+    const idx_t lo = exec_lo(d), hi = exec_hi(d);
+    const idx_t wl = depth_;  // low-side ghost width (all ranks)
+    // High-side ghost width of THIS rank: the allocation reserves
+    // depth + stagger beyond own_hi; on the high-edge rank exec_hi
+    // already includes the stagger point, leaving exactly depth ghosts.
+    const idx_t wh_recv = depth_ + stagger_[ds] - (hi - own_hi_[ds]);
+    // Width of the strip a low neighbor needs from us: its recv_high is
+    // always the non-edge width depth + stagger (a rank with a high
+    // neighbor is never the high edge).
+    const idx_t wh_send = depth_ + stagger_[ds];
+    // Strips in global index space:
+    Box send_low = base_box(d), send_high = base_box(d), recv_low = send_low,
+        recv_high = send_high;
+    send_low.lo[ds] = lo;          // to low neighbor's high ghosts
+    send_low.hi[ds] = lo + wh_send;
+    send_high.lo[ds] = hi - wl;    // to high neighbor's low ghosts
+    send_high.hi[ds] = hi;
+    recv_low.lo[ds] = lo - wl;
+    recv_low.hi[ds] = lo;
+    recv_high.lo[ds] = hi;
+    recv_high.hi[ds] = hi + wh_recv;
+
+    const bool periodic = bc_[ds][0] == Bc::Periodic;
+    BWLAB_REQUIRE(!periodic || stagger_[ds] == 0,
+                  "periodic BCs unsupported on staggered dats");
+    BWLAB_REQUIRE(!periodic || bc_[ds][1] == Bc::Periodic,
+                  "periodic BCs must be set on both sides");
+
+    int nb_low = block_->neighbor(d, -1);
+    int nb_high = block_->neighbor(d, +1);
+    if (periodic) {
+      nb_low = block_->neighbor_periodic(d, -1);
+      nb_high = block_->neighbor_periodic(d, +1);
+    }
+    const int me = ctx.rank();
+
+    // Tags: unique per (dat, dim, direction). A message travelling in +d
+    // uses tag base+0, in -d base+1; matching is per (src, tag).
+    const int tag_base = id_ * 8 + d * 2;
+
+    // Both directions are SENT before either RECEIVE: with blocking
+    // receives first, a periodic ring of ranks deadlocks (everyone waits
+    // for a message its neighbor only sends after its own receive).
+    // SimMPI sends are eagerly buffered, so sending first is safe.
+    auto send_to = [&](int nb, const Box& sbox, std::vector<T>& buf,
+                       int tag) {
+      if (nb < 0 || nb == me || comm == nullptr) return;
+      pack(sbox, buf);
+      comm->send(nb, tag, buf.data(), buf.size() * sizeof(T));
+      ++rec.messages;
+      rec.bytes += buf.size() * sizeof(T);
+    };
+    auto recv_from = [&](int nb, const Box& rbox, const Box& self_src,
+                         int tag) {
+      if (nb < 0) return;
+      if (nb == me || comm == nullptr) {
+        // Periodic self-wrap: copy with index translation in dim d.
+        std::vector<T>& buf = scratch_a_;
+        pack(self_src, buf);
+        unpack(rbox, buf);
+        return;
+      }
+      std::vector<T> rbuf(static_cast<std::size_t>(rbox.points()));
+      comm->recv(nb, tag, rbuf.data(), rbuf.size() * sizeof(T));
+      unpack(rbox, rbuf);
+    };
+
+    send_to(nb_high, send_high, scratch_a_, tag_base + 0);
+    send_to(nb_low, send_low, scratch_b_, tag_base + 1);
+    // recv_high carries the high neighbor's send_low (-d direction).
+    recv_from(nb_high, recv_high, send_low, tag_base + 1);
+    recv_from(nb_low, recv_low, send_high, tag_base + 0);
+
+    // Physical-boundary fills where there is no (periodic) neighbor.
+    if (!periodic) {
+      if (nb_low < 0) fill_bc(d, /*side=*/0, recv_low);
+      if (nb_high < 0) fill_bc(d, /*side=*/1, recv_high);
+    }
+  }
+
+  void fill_bc(int d, int side, const Box& ghosts) {
+    const auto ds = static_cast<std::size_t>(d);
+    const Bc bc = bc_[ds][static_cast<std::size_t>(side)];
+    if (bc == Bc::None) return;
+    const idx_t lo = exec_lo(d), hi = exec_hi(d);
+    // Mirror plane: for cell-centered fields the wall sits between cells
+    // (lo-1|lo and hi-1|hi); for node-centered fields the wall *is* the
+    // boundary node (lo and hi-1).
+    const bool node = stagger_[ds] == 1;
+    for (idx_t k = ghosts.lo[2]; k < ghosts.hi[2]; ++k)
+      for (idx_t j = ghosts.lo[1]; j < ghosts.hi[1]; ++j)
+        for (idx_t i = ghosts.lo[0]; i < ghosts.hi[0]; ++i) {
+          std::array<idx_t, 3> g{i, j, k};
+          const idx_t gd = g[ds];
+          idx_t src = gd;
+          switch (bc) {
+            case Bc::CopyNearest:
+              src = side == 0 ? lo : hi - 1;
+              break;
+            case Bc::Reflect:
+            case Bc::ReflectNeg: {
+              if (side == 0)
+                src = node ? 2 * lo - gd : 2 * lo - 1 - gd;
+              else
+                src = node ? 2 * (hi - 1) - gd : 2 * hi - 1 - gd;
+              break;
+            }
+            case Bc::None:
+            case Bc::Periodic:
+              return;  // handled elsewhere
+          }
+          std::array<idx_t, 3> s = g;
+          s[ds] = src;
+          T v = at(s[0], s[1], s[2]);
+          if (bc == Bc::ReflectNeg) v = -v;
+          at(g[0], g[1], g[2]) = v;
+        }
+  }
+
+  Block* block_;
+  std::string name_;
+  int id_;
+  int depth_;
+  std::array<int, 3> stagger_;
+  std::array<idx_t, 3> own_lo_{}, own_hi_{}, exec_hi_{}, alo_{}, ahi_{};
+  std::array<std::array<Bc, 2>, 3> bc_{};
+  idx_t sx_ = 0, sy_ = 0;
+  aligned_vector<T> data_;
+  std::vector<T> scratch_a_, scratch_b_;
+  bool dirty_ = true;  // fresh dats have unfilled ghosts
+};
+
+}  // namespace bwlab::ops

@@ -1,0 +1,107 @@
+#include "par/partition.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bwlab::par {
+
+std::array<int, 3> dims_create(int nranks, int ndims) {
+  BWLAB_REQUIRE(nranks >= 1, "nranks must be positive");
+  BWLAB_REQUIRE(ndims >= 1 && ndims <= 3, "ndims must be 1..3");
+  std::array<int, 3> dims{1, 1, 1};
+  if (ndims == 1) {
+    dims[0] = nranks;
+    return dims;
+  }
+  // Repeatedly peel the largest prime factor onto the currently-smallest
+  // dimension; yields near-cubic grids like MPI_Dims_create.
+  int n = nranks;
+  std::vector<int> factors;
+  for (int p = 2; p * p <= n; ++p)
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (int f : factors) {
+    int smallest = 0;
+    for (int d = 1; d < ndims; ++d)
+      if (dims[static_cast<std::size_t>(d)] <
+          dims[static_cast<std::size_t>(smallest)])
+        smallest = d;
+    dims[static_cast<std::size_t>(smallest)] *= f;
+  }
+  // Order descending (insertion sort over at most 3 entries; avoids a
+  // gcc -O3 array-bounds false positive with std::sort on a sub-range).
+  for (int i = 1; i < ndims; ++i)
+    for (int j = i; j > 0 && dims[static_cast<std::size_t>(j)] >
+                                 dims[static_cast<std::size_t>(j - 1)];
+         --j)
+      std::swap(dims[static_cast<std::size_t>(j)],
+                dims[static_cast<std::size_t>(j - 1)]);
+  return dims;
+}
+
+std::pair<idx_t, idx_t> block_range(idx_t n, int nblocks, int b) {
+  BWLAB_REQUIRE(nblocks >= 1 && b >= 0 && b < nblocks,
+                "bad block " << b << " of " << nblocks);
+  const idx_t base = n / nblocks, rem = n % nblocks;
+  const idx_t lo = b * base + std::min<idx_t>(b, rem);
+  return {lo, lo + base + (b < rem ? 1 : 0)};
+}
+
+CartGrid::CartGrid(int nranks_, int ndims_, std::array<idx_t, 3> global)
+    : n(global), ndims(ndims_) {
+  dims = dims_create(nranks_, ndims_);
+  // Assign the largest process-grid dimension to the largest problem
+  // dimension so subdomains stay near-cubic.
+  std::array<int, 3> order{0, 1, 2};
+  for (int i = 1; i < ndims; ++i)
+    for (int j = i;
+         j > 0 && n[static_cast<std::size_t>(order[static_cast<std::size_t>(j)])] >
+                      n[static_cast<std::size_t>(order[static_cast<std::size_t>(j - 1)])];
+         --j)
+      std::swap(order[static_cast<std::size_t>(j)],
+                order[static_cast<std::size_t>(j - 1)]);
+  std::array<int, 3> assigned{1, 1, 1};
+  for (int i = 0; i < ndims; ++i)
+    assigned[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        dims[static_cast<std::size_t>(i)];
+  dims = assigned;
+}
+
+std::array<int, 3> CartGrid::coords(int rank) const {
+  BWLAB_REQUIRE(rank >= 0 && rank < nranks(), "rank out of grid");
+  std::array<int, 3> c;
+  c[0] = rank % dims[0];
+  c[1] = (rank / dims[0]) % dims[1];
+  c[2] = rank / (dims[0] * dims[1]);
+  return c;
+}
+
+int CartGrid::rank_at(std::array<int, 3> c) const {
+  for (int d = 0; d < 3; ++d)
+    if (c[static_cast<std::size_t>(d)] < 0 ||
+        c[static_cast<std::size_t>(d)] >= dims[static_cast<std::size_t>(d)])
+      return -1;
+  return (c[2] * dims[1] + c[1]) * dims[0] + c[0];
+}
+
+int CartGrid::neighbor(int rank, int dim, int dir) const {
+  auto c = coords(rank);
+  c[static_cast<std::size_t>(dim)] += dir;
+  return rank_at(c);
+}
+
+std::pair<idx_t, idx_t> CartGrid::local_range(int rank, int dim) const {
+  const auto c = coords(rank);
+  return block_range(n[static_cast<std::size_t>(dim)],
+                     dims[static_cast<std::size_t>(dim)],
+                     c[static_cast<std::size_t>(dim)]);
+}
+
+}  // namespace bwlab::par

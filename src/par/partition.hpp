@@ -1,0 +1,44 @@
+// Cartesian process-grid helpers: balanced factorization of the rank count
+// into 1/2/3 dimensions (MPI_Dims_create analogue) and block ownership
+// ranges — the "standard cartesian mesh decomposition" the paper uses for
+// all structured-mesh applications.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace bwlab::par {
+
+/// Factor `nranks` into `ndims` factors as close to each other as
+/// possible, largest first (matches MPI_Dims_create behaviour closely
+/// enough for modeling and decomposition).
+std::array<int, 3> dims_create(int nranks, int ndims);
+
+/// Ownership range [lo, hi) of block `b` out of `nblocks` over `n` items,
+/// balanced to within one item.
+std::pair<idx_t, idx_t> block_range(idx_t n, int nblocks, int b);
+
+/// A cartesian decomposition of an up-to-3D grid over ranks.
+struct CartGrid {
+  std::array<int, 3> dims{1, 1, 1};   ///< process grid shape
+  std::array<idx_t, 3> n{1, 1, 1};    ///< global grid points per dimension
+  int ndims = 1;
+
+  CartGrid() = default;
+  CartGrid(int nranks, int ndims_, std::array<idx_t, 3> global);
+
+  int nranks() const { return dims[0] * dims[1] * dims[2]; }
+
+  /// Rank coordinates of `rank` (x fastest).
+  std::array<int, 3> coords(int rank) const;
+  /// Rank at coordinates; -1 if out of the grid (non-periodic).
+  int rank_at(std::array<int, 3> c) const;
+  /// Neighbor of `rank` in dimension `dim` (0..2), direction -1/+1; -1 at
+  /// the domain boundary.
+  int neighbor(int rank, int dim, int dir) const;
+  /// Local ownership range of `rank` in dimension `dim`.
+  std::pair<idx_t, idx_t> local_range(int rank, int dim) const;
+};
+
+}  // namespace bwlab::par

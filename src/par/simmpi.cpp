@@ -1,0 +1,263 @@
+#include "par/simmpi.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace bwlab::par {
+
+namespace {
+struct Message {
+  int src;
+  int tag;
+  std::vector<char> payload;
+};
+
+/// Thrown into ranks blocked on communication when a peer rank failed;
+/// run_ranks reports the peer's original exception instead of this one.
+struct AbortedError : bwlab::Error {
+  AbortedError() : bwlab::Error("rank aborted: a peer rank threw") {}
+};
+}  // namespace
+
+/// Shared state of one run_ranks() execution.
+class World {
+ public:
+  explicit World(int nranks) : n_(nranks), inbox_(nranks) {}
+
+  int size() const { return n_; }
+
+  void deliver(int src, int dest, int tag, const void* data,
+               std::size_t bytes) {
+    BWLAB_REQUIRE(dest >= 0 && dest < n_, "send to invalid rank " << dest);
+    Mailbox& box = inbox_[static_cast<std::size_t>(dest)];
+    Message msg{src, tag, {}};
+    msg.payload.resize(bytes);
+    std::memcpy(msg.payload.data(), data, bytes);
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.messages.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  /// Blocks until a message matching (src, tag) is available for `dest`,
+  /// then copies it out. Returns the time spent blocked.
+  seconds_t collect(int src, int dest, int tag, void* data,
+                    std::size_t bytes) {
+    BWLAB_REQUIRE(src >= 0 && src < n_, "recv from invalid rank " << src);
+    Mailbox& box = inbox_[static_cast<std::size_t>(dest)];
+    Timer timer;
+    std::unique_lock<std::mutex> lock(box.mu);
+    auto match = box.messages.end();
+    box.cv.wait(lock, [&] {
+      if (aborted_.load()) return true;
+      match = std::find_if(box.messages.begin(), box.messages.end(),
+                           [&](const Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+      return match != box.messages.end();
+    });
+    if (match == box.messages.end()) throw AbortedError();
+    BWLAB_REQUIRE(match->payload.size() == bytes,
+                  "message size mismatch: sent " << match->payload.size()
+                                                 << ", receiving " << bytes);
+    std::memcpy(data, match->payload.data(), bytes);
+    box.messages.erase(match);
+    return timer.elapsed();
+  }
+
+  seconds_t barrier() {
+    Timer timer;
+    std::unique_lock<std::mutex> lock(coll_.mu);
+    const count_t my_gen = coll_.gen;
+    if (++coll_.arrived == n_) {
+      coll_.arrived = 0;
+      ++coll_.gen;
+      coll_.cv.notify_all();
+    } else {
+      coll_.cv.wait(lock, [&] { return coll_.gen != my_gen || aborted_.load(); });
+      if (coll_.gen == my_gen) throw AbortedError();
+    }
+    return timer.elapsed();
+  }
+
+  /// Wakes every blocked rank after a peer threw.
+  void abort_all() {
+    aborted_.store(true);
+    for (Mailbox& box : inbox_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(coll_.mu);
+    coll_.cv.notify_all();
+  }
+
+  static bool is_abort(const std::exception_ptr& e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const AbortedError&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  seconds_t allreduce(double* vals, int count, ReduceOp op) {
+    Timer timer;
+    std::unique_lock<std::mutex> lock(coll_.mu);
+    if (coll_.arrived == 0) {
+      coll_.buf.assign(vals, vals + count);
+    } else {
+      BWLAB_REQUIRE(coll_.buf.size() == static_cast<std::size_t>(count),
+                    "allreduce count mismatch across ranks");
+      for (int i = 0; i < count; ++i) {
+        switch (op) {
+          case ReduceOp::Sum: coll_.buf[static_cast<std::size_t>(i)] += vals[i]; break;
+          case ReduceOp::Min:
+            coll_.buf[static_cast<std::size_t>(i)] =
+                std::min(coll_.buf[static_cast<std::size_t>(i)], vals[i]);
+            break;
+          case ReduceOp::Max:
+            coll_.buf[static_cast<std::size_t>(i)] =
+                std::max(coll_.buf[static_cast<std::size_t>(i)], vals[i]);
+            break;
+        }
+      }
+    }
+    const count_t my_gen = coll_.gen;
+    if (++coll_.arrived == n_) {
+      coll_.result = coll_.buf;
+      coll_.arrived = 0;
+      ++coll_.gen;
+      coll_.cv.notify_all();
+    } else {
+      coll_.cv.wait(lock, [&] { return coll_.gen != my_gen || aborted_.load(); });
+      if (coll_.gen == my_gen) throw AbortedError();
+    }
+    std::copy(coll_.result.begin(), coll_.result.end(), vals);
+    return timer.elapsed();
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+  struct Collective {
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    count_t gen = 0;
+    std::vector<double> buf;
+    std::vector<double> result;
+  };
+
+  int n_;
+  std::vector<Mailbox> inbox_;
+  Collective coll_;
+  std::atomic<bool> aborted_{false};
+};
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  world_->deliver(rank_, dest, tag, data, bytes);
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
+  comm_seconds_ += world_->collect(src, rank_, tag, data, bytes);
+}
+
+Comm::Request Comm::isend(int dest, int tag, const void* data,
+                          std::size_t bytes) {
+  send(dest, tag, data, bytes);
+  Request r;
+  r.is_recv = false;
+  r.peer = dest;
+  r.tag = tag;
+  r.done = true;
+  return r;
+}
+
+Comm::Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
+  Request r;
+  r.is_recv = true;
+  r.peer = src;
+  r.tag = tag;
+  r.data = data;
+  r.bytes = bytes;
+  return r;
+}
+
+void Comm::wait(Request& r) {
+  if (r.done) return;
+  if (r.is_recv) recv(r.peer, r.tag, r.data, r.bytes);
+  r.done = true;
+}
+
+void Comm::wait_all(std::vector<Request>& rs) {
+  for (Request& r : rs) wait(r);
+}
+
+void Comm::barrier() { comm_seconds_ += world_->barrier(); }
+
+void Comm::allreduce(double* vals, int n, ReduceOp op) {
+  comm_seconds_ += world_->allreduce(vals, n, op);
+}
+
+double Comm::allreduce_sum(double v) {
+  allreduce(&v, 1, ReduceOp::Sum);
+  return v;
+}
+double Comm::allreduce_min(double v) {
+  allreduce(&v, 1, ReduceOp::Min);
+  return v;
+}
+double Comm::allreduce_max(double v) {
+  allreduce(&v, 1, ReduceOp::Max);
+  return v;
+}
+
+std::vector<RankStats> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& fn) {
+  BWLAB_REQUIRE(nranks >= 1, "run_ranks needs >= 1 rank, got " << nranks);
+  World world(nranks);
+  std::vector<RankStats> stats(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  auto body = [&](int r) {
+    Comm comm(world, r);
+    try {
+      fn(comm);
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      world.abort_all();
+    }
+    stats[static_cast<std::size_t>(r)].comm_seconds = comm.comm_seconds();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks - 1));
+  for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (std::thread& t : threads) t.join();
+
+  // Prefer the originating error over secondary AbortedErrors.
+  for (const std::exception_ptr& e : errors)
+    if (e && !World::is_abort(e)) std::rethrow_exception(e);
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return stats;
+}
+
+}  // namespace bwlab::par

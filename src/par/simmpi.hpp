@@ -1,0 +1,83 @@
+// SimMPI: a functional stand-in for intra-node MPI, executing ranks as
+// host threads that exchange messages through shared-memory mailboxes.
+//
+// This substitutes for Intel MPI in the reproduction: the applications'
+// halo-exchange code paths (pack / isend / irecv / wait / unpack,
+// allreduce for time-step control and field summaries) run for real and
+// are tested for correctness. Blocked time is accounted per rank, which is
+// the functional analogue of the paper's MPI_Wait measurements (Figure 7);
+// *modeled* communication times for the paper's platforms come from
+// sim::CommModel instead.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bwlab::par {
+
+enum class ReduceOp { Sum, Min, Max };
+
+class World;
+
+/// Per-rank communicator handle, valid only inside run_ranks().
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- Point-to-point ------------------------------------------------------
+  /// Eager buffered send: copies `bytes` and returns immediately.
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+  /// Blocking receive; message sizes must match the matching send exactly.
+  void recv(int src, int tag, void* data, std::size_t bytes);
+
+  /// Nonblocking handles. isend is eagerly buffered (already complete);
+  /// irecv records the posting and completes inside wait().
+  struct Request {
+    bool is_recv = false;
+    int peer = -1;
+    int tag = -1;
+    void* data = nullptr;
+    std::size_t bytes = 0;
+    bool done = false;
+  };
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+  Request irecv(int src, int tag, void* data, std::size_t bytes);
+  void wait(Request& r);
+  void wait_all(std::vector<Request>& rs);
+
+  // --- Collectives ---------------------------------------------------------
+  void barrier();
+  /// In-place elementwise allreduce over all ranks.
+  void allreduce(double* vals, int n, ReduceOp op);
+  double allreduce_sum(double v);
+  double allreduce_min(double v);
+  double allreduce_max(double v);
+
+  /// Wall-clock seconds this rank has spent blocked in recv / wait /
+  /// collectives so far (the MPI_Wait analogue).
+  seconds_t comm_seconds() const { return comm_seconds_; }
+
+  /// Internal: constructed by run_ranks for each rank.
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+ private:
+
+  World* world_;
+  int rank_;
+  seconds_t comm_seconds_ = 0.0;
+};
+
+/// Outcome of one rank's execution.
+struct RankStats {
+  seconds_t comm_seconds = 0.0;
+};
+
+/// Runs `fn(comm)` on `nranks` ranks (threads) and joins them. Any
+/// exception thrown by a rank is rethrown here after all ranks stopped.
+std::vector<RankStats> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& fn);
+
+}  // namespace bwlab::par

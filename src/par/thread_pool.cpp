@@ -1,0 +1,59 @@
+#include "par/thread_pool.hpp"
+
+namespace bwlab::par {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  BWLAB_REQUIRE(threads >= 1, "thread pool needs >= 1 thread, got " << threads);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    pending_ = threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);  // member 0 is the caller
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int tid) {
+  count_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      task = task_;
+    }
+    (*task)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace bwlab::par

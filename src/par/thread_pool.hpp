@@ -1,0 +1,98 @@
+// Persistent thread pool with OpenMP-style static-schedule parallel loops
+// and reductions. This is the execution engine behind the "OpenMP" lane of
+// the DSLs: a team of threads is created once and reused by every parallel
+// region (as OpenMP runtimes do), so per-region cost is a condition-variable
+// wakeup plus a join barrier, not thread creation.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <utility>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace bwlab::par {
+
+class ThreadPool {
+ public:
+  /// Creates a team of `threads` (>= 1). The calling thread acts as team
+  /// member 0; `threads - 1` workers are spawned.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return threads_; }
+
+  /// Executes `fn(tid)` on every team member (tid in [0, size())) and
+  /// returns when all are done.
+  void run(const std::function<void(int)>& fn);
+
+  /// Static-schedule parallel loop over [begin, end).
+  template <class F>
+  void parallel_for(idx_t begin, idx_t end, F&& f) {
+    if (end <= begin) return;
+    const idx_t n = end - begin;
+    if (threads_ == 1 || n == 1) {
+      for (idx_t i = begin; i < end; ++i) f(i);
+      return;
+    }
+    run([&](int tid) {
+      const auto [lo, hi] = chunk(begin, end, tid);
+      for (idx_t i = lo; i < hi; ++i) f(i);
+    });
+  }
+
+  /// Parallel sum-reduction of `f(i)` over [begin, end).
+  template <class F>
+  double parallel_reduce_sum(idx_t begin, idx_t end, F&& f) {
+    if (end <= begin) return 0.0;
+    if (threads_ == 1) {
+      double s = 0.0;
+      for (idx_t i = begin; i < end; ++i) s += f(i);
+      return s;
+    }
+    std::vector<double> partial(static_cast<std::size_t>(threads_), 0.0);
+    run([&](int tid) {
+      const auto [lo, hi] = chunk(begin, end, tid);
+      double s = 0.0;
+      for (idx_t i = lo; i < hi; ++i) s += f(i);
+      partial[static_cast<std::size_t>(tid)] = s;
+    });
+    double total = 0.0;
+    for (double s : partial) total += s;
+    return total;
+  }
+
+  /// [lo, hi) sub-range assigned to team member `tid` by the static
+  /// schedule (balanced to within one iteration).
+  std::pair<idx_t, idx_t> chunk(idx_t begin, idx_t end, int tid) const {
+    const idx_t n = end - begin;
+    const idx_t t = threads_;
+    const idx_t base = n / t, rem = n % t;
+    const idx_t lo = begin + tid * base + std::min<idx_t>(tid, rem);
+    return {lo, lo + base + (tid < rem ? 1 : 0)};
+  }
+
+ private:
+  void worker_loop(int tid);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* task_ = nullptr;
+  count_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bwlab::par

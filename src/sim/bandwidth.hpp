@@ -1,0 +1,68 @@
+// Bandwidth-vs-working-set model (the Figure 1 curve).
+//
+// For a streaming (BabelStream-triad-like) access over a working set of
+// `ws` bytes, the achieved bandwidth depends on which level of the
+// hierarchy the working set fits in. We model the time-per-byte as a
+// hit-rate blend across levels: level l serves the access fully while
+// ws <= kFitFraction * capacity_l and a shrinking fraction beyond, which
+// yields the characteristic plateaus-with-smooth-knees shape of measured
+// STREAM size sweeps, is monotone non-increasing in ws, and converges to
+// the calibrated STREAM plateau for large arrays.
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace bwlab::sim {
+
+/// Which part of the machine the benchmark threads (and their memory) are
+/// confined to — the three series of Figure 1.
+enum class Scope { OneNuma, OneSocket, Node };
+
+const char* to_string(Scope s);
+
+/// Fraction of a cache level's capacity a streaming working set can
+/// occupy before misses start (accounts for associativity conflicts and
+/// other resident data).
+inline constexpr double kFitFraction = 0.85;
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(const MachineModel& m) : m_(m) {}
+
+  /// Number of physical cores participating at `scope`.
+  int cores(Scope scope) const;
+  /// Number of sockets participating at `scope` (1 for OneNuma).
+  int sockets(Scope scope) const;
+
+  /// Aggregate capacity of cache level `l` visible at `scope`, bytes.
+  double cache_capacity(const CacheLevel& l, Scope scope) const;
+  /// Aggregate sustainable bandwidth of cache level `l` at `scope`, B/s.
+  double cache_bw(const CacheLevel& l, Scope scope) const;
+
+  /// Achieved main-memory streaming bandwidth at `scope`, B/s.
+  /// `streaming_stores` selects the SS-tuned flag variant (Figure 1 "SS").
+  double mem_bw(Scope scope, bool streaming_stores = false) const;
+
+  /// The Figure 1 curve: achieved triad bandwidth for a working set of
+  /// `working_set_bytes` at `scope`.
+  double stream_bw(double working_set_bytes, Scope scope,
+                   bool streaming_stores = false) const;
+
+  /// Ratio between the cache-region plateau (working set sized to the L2
+  /// sweet spot) and the large-array plateau; the paper quotes 3.8x /
+  /// 6.3x / 14x for MAX / 8360Y / 7V73X.
+  double cache_to_mem_ratio() const;
+
+  /// Best bandwidth available to a computation whose blocked working set
+  /// is `tile_bytes` per sweep (used by the Figure 9 tiling model).
+  double blocked_bw(double tile_bytes, Scope scope) const {
+    return stream_bw(tile_bytes, scope);
+  }
+
+  const MachineModel& machine() const { return m_; }
+
+ private:
+  const MachineModel& m_;
+};
+
+}  // namespace bwlab::sim

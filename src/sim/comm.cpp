@@ -1,0 +1,89 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/topology.hpp"
+
+namespace bwlab::sim {
+
+double CommModel::alpha_s(PairClass c) const {
+  // Rendezvous: control-line ping-pong (2 hardware hops) plus the software
+  // send/recv path on both sides.
+  const double hw_ns = 2.0 * m_.latency_ns(c);
+  return (m_.mpi_sw_overhead_ns + hw_ns) * 1e-9;
+}
+
+double CommModel::beta_bytes_per_s(PairClass c, int communicating_pairs,
+                                   int threads_per_rank) const {
+  BWLAB_REQUIRE(communicating_pairs > 0, "need at least one pair");
+  BWLAB_REQUIRE(threads_per_rank >= 1, "need at least one thread");
+  // Message payload moves through a latency-bound single-core copy path
+  // (pack / shm copy / unpack), NOT at a proportional share of the node's
+  // streaming bandwidth — the mechanism behind the paper's finding that
+  // communication did not improve with HBM the way kernels did. The
+  // per-core copy rate is MLP-limited: ~32 lines in flight over the load
+  // latency; note it is LOWER on the MAX CPU than on the 8360Y because
+  // HBM trades latency for bandwidth.
+  const double percore_copy =
+      32.0 * static_cast<double>(kCacheLineBytes) / (m_.mem_latency_ns * 1e-9);
+  // Hybrid ranks pack with their team (diminishing beyond ~8 threads).
+  const double pack_rate =
+      percore_copy * std::min(8.0, static_cast<double>(threads_per_rank)) *
+      (threads_per_rank > 1 ? 0.6 : 1.0);
+  // With many pairs in flight the aggregate is additionally capped by a
+  // share of the node bandwidth (3 traversals of the payload).
+  const double share = m_.stream_triad_node /
+                       (3.0 * static_cast<double>(communicating_pairs));
+  double bw = std::min(pack_rate, share + 0.15 * pack_rate);
+  if (c == PairClass::CrossSocket) bw *= 0.6;  // UPI / xGMI penalty
+  return bw;
+}
+
+double CommModel::message_time_s(PairClass c, count_t bytes, int pairs,
+                                 int threads_per_rank) const {
+  return alpha_s(c) + static_cast<double>(bytes) /
+                          beta_bytes_per_s(c, pairs, threads_per_rank);
+}
+
+double CommModel::thread_barrier_s(int threads) const {
+  if (threads <= 1) return 0.0;
+  constexpr double kForkJoinSwNs = 400.0;  // omp parallel entry/exit path
+  const double tree_depth = std::ceil(std::log2(static_cast<double>(threads)));
+  double hops = tree_depth * m_.lat_ns_same_numa;
+  // Threads spanning more than one NUMA domain pay at least one slower hop
+  // per extra level of the topology.
+  if (threads > m_.cores_per_numa() * m_.smt)
+    hops += m_.lat_ns_cross_numa;
+  if (threads > m_.cores_per_socket * m_.smt)
+    hops += m_.lat_ns_cross_socket;
+  return (kForkJoinSwNs + 2.0 * hops) * 1e-9;
+}
+
+PairClass CommModel::rank_pair_class(int rank_a, int rank_b, int total_ranks,
+                                     bool use_smt) const {
+  BWLAB_REQUIRE(total_ranks > 0 && rank_a >= 0 && rank_b >= 0 &&
+                    rank_a < total_ranks && rank_b < total_ranks,
+                "bad rank pair " << rank_a << "," << rank_b << " of "
+                                 << total_ranks);
+  const int hw_threads =
+      use_smt ? m_.total_threads() : m_.total_cores();
+  const int block = std::max(1, hw_threads / total_ranks);
+  // Representative hardware thread of each rank: first thread of its
+  // block. With SMT-compact pinning two ranks can share a physical core.
+  auto rep = [&](int r) {
+    int t = r * block;
+    if (!use_smt) {
+      // map to primary threads only
+      return t % m_.total_cores();
+    }
+    // compact pinning: fill both SMT lanes of a core before moving on
+    const int core = t / m_.smt;
+    const int lane = t % m_.smt;
+    return lane * m_.total_cores() + core;
+  };
+  return classify_pair(m_, rep(rank_a), rep(rank_b));
+}
+
+}  // namespace bwlab::sim

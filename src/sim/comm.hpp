@@ -1,0 +1,54 @@
+// Intra-node communication model: shared-memory MPI message costs
+// (LogGP-style alpha/beta per neighbor class), thread-synchronization
+// costs for the hybrid MPI+OpenMP variants, and the rank-placement logic
+// mapping an MPI rank pair to a PairClass. Feeds Figure 7 (time spent in
+// MPI) and the communication terms of Figures 3-6.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/machine.hpp"
+
+namespace bwlab::sim {
+
+class CommModel {
+ public:
+  explicit CommModel(const MachineModel& m) : m_(m) {}
+
+  /// Per-message fixed cost (send+recv software path plus the hardware
+  /// round trips of the rendezvous protocol) in seconds.
+  double alpha_s(PairClass c) const;
+
+  /// Sustained per-pair payload bandwidth in B/s. The copy path is
+  /// latency-bound per participating core (HBM does not speed it up the
+  /// way it speeds kernels — the paper's latency-bottleneck shift);
+  /// hybrid ranks parallelize packing over up to `threads_per_rank`
+  /// threads, and the aggregate is capped by a share of node bandwidth.
+  double beta_bytes_per_s(PairClass c, int communicating_pairs,
+                          int threads_per_rank = 1) const;
+
+  /// Full cost of one point-to-point message of `bytes` between ranks
+  /// whose cores are in relationship `c`, when `pairs` messages are in
+  /// flight machine-wide (they share bandwidth).
+  double message_time_s(PairClass c, count_t bytes, int pairs,
+                        int threads_per_rank = 1) const;
+
+  /// Cost of an OpenMP-style fork/join + barrier over `threads` threads
+  /// (tree of depth log2 T over same-NUMA latencies, plus fixed software
+  /// overhead). This is the "threading overhead" the paper weighs against
+  /// message-passing overheads.
+  double thread_barrier_s(int threads) const;
+
+  /// Classify the relationship between two MPI ranks when `total_ranks`
+  /// ranks are placed in order, each owning an equal contiguous block of
+  /// hardware threads (compact pinning, one thread per rank for pure MPI,
+  /// one rank per NUMA domain for hybrid).
+  PairClass rank_pair_class(int rank_a, int rank_b, int total_ranks,
+                            bool use_smt) const;
+
+  const MachineModel& machine() const { return m_; }
+
+ private:
+  const MachineModel& m_;
+};
+
+}  // namespace bwlab::sim

@@ -1,0 +1,141 @@
+// Machine models of the four platforms evaluated in the paper.
+//
+// We do not have access to a Xeon CPU MAX 9480, a Xeon Platinum 8360Y, an
+// EPYC 7V73X, or an A100. Each platform is therefore represented by an
+// analytic model: topology, clock behaviour, cache hierarchy with level
+// bandwidths, memory bandwidth (peak and achieved), core-to-core latency
+// classes, and intra-node message-passing parameters. Every number is
+// either (a) a published hardware specification, or (b) calibrated to a
+// measurement the paper itself reports in Section 2 (STREAM triad numbers,
+// cache:memory bandwidth ratios, latency plots). Field comments note the
+// provenance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bwlab::sim {
+
+/// One level of the cache hierarchy, as seen by a bandwidth benchmark.
+struct CacheLevel {
+  std::string name;            ///< "L1", "L2", "L3"
+  double size_bytes = 0;       ///< capacity at this level *per sharing unit*
+  bool per_core = false;       ///< true: private per core; false: per socket
+  double bw_bytes_per_core = 0;  ///< sustained BW per core (per_core levels)
+  double bw_bytes_per_socket = 0;  ///< sustained BW per socket (shared levels)
+};
+
+/// Core-to-core communication relationship classes used by the latency
+/// model (Figure 2) and by the MPI placement model (Figure 7).
+enum class PairClass {
+  SmtSibling,   ///< two hyperthreads of the same physical core
+  SameNuma,     ///< adjacent physical cores in the same NUMA domain
+  CrossNuma,    ///< same socket, different NUMA domain / chiplet
+  CrossSocket,  ///< different sockets
+};
+
+const char* to_string(PairClass c);
+
+/// Full analytic model of one platform.
+struct MachineModel {
+  std::string id;    ///< short identifier ("max9480", "icx8360y", ...)
+  std::string name;  ///< display name as used in the paper
+
+  // --- Topology -----------------------------------------------------------
+  int sockets = 0;
+  int numa_per_socket = 0;   ///< SNC4 => 4 on MAX; 2 NUMA/socket on Milan-X
+  int cores_per_socket = 0;  ///< physical cores
+  int smt = 1;               ///< hardware threads per core
+
+  // --- Clocks (GHz) ---------------------------------------------------------
+  double base_clock_ghz = 0;
+  double allcore_turbo_ghz = 0;
+  /// Multiplier applied to the all-core clock when 512-bit (ZMM-high) code
+  /// runs on every core. ~1.0 on Sapphire Rapids-era parts, <1 on older
+  /// AVX-512 designs; 1.0 where AVX-512 is absent.
+  double avx512_clock_factor = 1.0;
+
+  // --- Vector/FP capability -------------------------------------------------
+  int vector_bits = 0;  ///< 512 (Intel), 256 (Milan-X AVX2)
+  bool has_avx512 = false;
+  /// FP32 FLOPs per cycle per core at full vector width (FMA counted as 2).
+  double fp32_flops_per_cycle = 0;
+
+  // --- Memory system --------------------------------------------------------
+  double mem_bw_peak_per_socket = 0;  ///< theoretical (HBM2e / 8ch DDR4)
+  /// Achieved STREAM-triad bandwidth for the whole node with the standard
+  /// application compile flags — the paper's Figure 1 plateau.
+  double stream_triad_node = 0;
+  /// Ditto with streaming-store-tuned flags (only distinguished on MAX).
+  double stream_triad_node_ss = 0;
+  double mem_capacity_per_socket = 0;  ///< bytes (HBM-only: 64 GB/socket)
+  /// Average loaded memory latency (ns) — HBM trades latency for
+  /// bandwidth; caps per-core achievable bandwidth via MLP.
+  double mem_latency_ns = 100;
+
+  std::vector<CacheLevel> caches;  ///< ordered smallest (L1) to largest
+
+  // --- Core-to-core message latency (ns), one-writer/one-reader test -------
+  double lat_ns_smt = 0;
+  double lat_ns_same_numa = 0;
+  double lat_ns_cross_numa = 0;
+  double lat_ns_cross_socket = 0;
+
+  // --- Intra-node MPI parameters -------------------------------------------
+  /// Software per-message overhead of a shared-memory MPI send+recv pair,
+  /// excluding the hardware cache-line transfer cost (added per PairClass).
+  double mpi_sw_overhead_ns = 0;
+
+  // --- GPU flag -------------------------------------------------------------
+  /// A100 is modeled for the platform-comparison figures only: no MPI, one
+  /// "socket", massive SMT (latency hiding folded into pattern efficiency).
+  bool is_gpu = false;
+  double gpu_kernel_launch_us = 0;  ///< per-kernel launch/driver overhead
+
+  // --- Derived quantities ---------------------------------------------------
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_threads() const { return total_cores() * smt; }
+  int total_numa() const { return sockets * numa_per_socket; }
+  int cores_per_numa() const { return cores_per_socket / numa_per_socket; }
+
+  /// Peak FP32 FLOP/s at the given clock (GHz).
+  double fp32_peak(double clock_ghz) const {
+    return static_cast<double>(total_cores()) * clock_ghz * 1e9 *
+           fp32_flops_per_cycle;
+  }
+  /// FP64 peak is half the FP32 peak on all four platforms.
+  double fp64_peak(double clock_ghz) const { return fp32_peak(clock_ghz) / 2; }
+
+  /// Theoretical node memory bandwidth.
+  double mem_bw_peak_node() const {
+    return mem_bw_peak_per_socket * static_cast<double>(sockets);
+  }
+
+  /// FP32 flop/byte machine balance at base clock vs ACHIEVED STREAM
+  /// bandwidth — the paper's convention (§2 quotes 9.4 / 36 / 28, which
+  /// match 13.6 TF / 1446 GB/s etc.).
+  double flop_per_byte() const {
+    return fp32_peak(base_clock_ghz) / stream_triad_node;
+  }
+
+  /// Latency for a PairClass (Figure 2 ordinate).
+  double latency_ns(PairClass c) const;
+};
+
+/// Registry of the modeled platforms.
+const MachineModel& max9480();   ///< Intel Xeon CPU MAX 9480, HBM-only, SNC4
+const MachineModel& icx8360y();  ///< Intel Xeon Platinum 8360Y (Ice Lake)
+const MachineModel& milanx();    ///< AMD EPYC 7V73X (Milan-X, 3D V-Cache)
+const MachineModel& a100();      ///< NVIDIA A100-PCIe-40GB
+
+/// All CPU platforms in paper order, then the GPU.
+std::vector<const MachineModel*> all_machines();
+/// The three CPUs only.
+std::vector<const MachineModel*> cpu_machines();
+
+/// Lookup by id; throws bwlab::Error for unknown ids.
+const MachineModel& machine_by_id(const std::string& id);
+
+}  // namespace bwlab::sim

@@ -1,0 +1,40 @@
+#include "sim/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace bwlab::sim {
+
+ThreadLocation locate_thread(const MachineModel& m, int t) {
+  BWLAB_REQUIRE(t >= 0 && t < m.total_threads(),
+                "thread id " << t << " out of range [0, " << m.total_threads()
+                             << ")");
+  ThreadLocation loc;
+  loc.smt_lane = t / m.total_cores();
+  loc.core = t % m.total_cores();
+  loc.socket = loc.core / m.cores_per_socket;
+  const int core_in_socket = loc.core % m.cores_per_socket;
+  loc.numa = loc.socket * m.numa_per_socket +
+             core_in_socket / m.cores_per_numa();
+  return loc;
+}
+
+PairClass classify_pair(const MachineModel& m, int thread_a, int thread_b) {
+  const ThreadLocation a = locate_thread(m, thread_a);
+  const ThreadLocation b = locate_thread(m, thread_b);
+  if (a.core == b.core) return PairClass::SmtSibling;
+  if (a.numa == b.numa) return PairClass::SameNuma;
+  if (a.socket == b.socket) return PairClass::CrossNuma;
+  return PairClass::CrossSocket;
+}
+
+double c2c_latency_ns(const MachineModel& m, int thread_a, int thread_b) {
+  return m.latency_ns(classify_pair(m, thread_a, thread_b));
+}
+
+double effective_clock_ghz(const MachineModel& m, bool zmm_high) {
+  const double factor =
+      (zmm_high && m.has_avx512) ? m.avx512_clock_factor : 1.0;
+  return m.allcore_turbo_ghz * factor;
+}
+
+}  // namespace bwlab::sim

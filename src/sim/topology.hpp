@@ -1,0 +1,35 @@
+// Hardware-thread numbering, pair classification (for the Figure 2
+// latency benchmark) and the effective clock model (ZMM default/high).
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace bwlab::sim {
+
+/// Location of one hardware thread under the canonical Linux-style
+/// numbering: physical cores first (socket-major), SMT siblings after all
+/// physical cores.
+struct ThreadLocation {
+  int socket = 0;
+  int numa = 0;      ///< NUMA domain index within the node
+  int core = 0;      ///< physical core index within the node
+  int smt_lane = 0;  ///< 0 = primary thread, 1 = hyperthread sibling
+};
+
+/// Decode hardware thread id `t` in [0, machine.total_threads()).
+ThreadLocation locate_thread(const MachineModel& m, int t);
+
+/// Relationship class between two hardware threads (drives Figure 2 and
+/// the MPI placement model).
+PairClass classify_pair(const MachineModel& m, int thread_a, int thread_b);
+
+/// Modeled one-writer/one-reader message latency between two hardware
+/// threads, in nanoseconds.
+double c2c_latency_ns(const MachineModel& m, int thread_a, int thread_b);
+
+/// All-core sustained clock under vector load. `zmm_high` selects 512-bit
+/// heavy code which incurs the platform's AVX-512 license-frequency factor
+/// (1.0 on non-AVX-512 machines).
+double effective_clock_ghz(const MachineModel& m, bool zmm_high);
+
+}  // namespace bwlab::sim

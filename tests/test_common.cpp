@@ -1,0 +1,180 @@
+// Unit tests for the common utilities: views, aligned storage, stats,
+// tables, CLI parsing, units, RNG determinism, error checking.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/aligned.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "common/view.hpp"
+
+namespace bwlab {
+namespace {
+
+TEST(Types, RoundUp) {
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+}
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 8), 0);
+  EXPECT_EQ(ceil_div(1, 8), 1);
+  EXPECT_EQ(ceil_div(8, 8), 1);
+  EXPECT_EQ(ceil_div(9, 8), 2);
+}
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    aligned_vector<double> v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes,
+              0u)
+        << "n=" << n;
+  }
+}
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    BWLAB_REQUIRE(1 == 2, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(View, View2DIndexing) {
+  std::vector<double> data(12);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<double>(i);
+  View2D<double> v(data.data(), 4, 3);
+  EXPECT_EQ(v(0, 0), 0.0);
+  EXPECT_EQ(v(3, 0), 3.0);
+  EXPECT_EQ(v(0, 1), 4.0);
+  EXPECT_EQ(v(3, 2), 11.0);
+  EXPECT_EQ(v.size(), 12);
+}
+
+TEST(View, View3DStrides) {
+  std::vector<int> data(2 * 3 * 4);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<int>(i);
+  View3D<int> v(data.data(), 2, 3, 4);
+  EXPECT_EQ(v(0, 0, 0), 0);
+  EXPECT_EQ(v(1, 0, 0), 1);
+  EXPECT_EQ(v(0, 1, 0), 2);
+  EXPECT_EQ(v(0, 0, 1), 6);
+  EXPECT_EQ(v(1, 2, 3), 23);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+}
+
+TEST(Stats, GeomeanAndMedian) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_THROW(geomean({}), Error);
+  EXPECT_THROW(geomean({1.0, -2.0}), Error);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t("Demo");
+  t.set_columns({{"name", 0}, {"value", 2}});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_separator();
+  t.add_row({std::string("b"), 10.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // incl. separator
+}
+
+TEST(Table, CsvEscapesAndSkipsSeparators) {
+  Table t;
+  t.set_columns({{"a", 0}, {"b", 1}});
+  t.add_row({std::string("x,y"), 1.0});
+  t.add_separator();
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",1.0\n");
+}
+
+TEST(Table, RowArityChecked) {
+  Table t;
+  t.set_columns({{"a", 0}});
+  EXPECT_THROW(t.add_row({std::string("x"), 1.0}), Error);
+}
+
+TEST(Cli, ParsesAllForms) {
+  // NB: a bare flag consumes the next non-option token as its value, so
+  // positionals go before bare flags (documented Cli semantics).
+  const char* argv[] = {"prog",     "--alpha=3", "--beta", "7",
+                        "pos1",     "--flag",    "--gamma=2.5"};
+  Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("gamma", 0), 2.5);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.get_int("absent", -1), -1);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_bandwidth(1446e9), "1446.0 GB/s");
+  EXPECT_EQ(format_flops(6.0e12), "6.00 TFLOP/s");
+  EXPECT_EQ(format_size(64.0 * kMiB), "64.00 MiB");
+  EXPECT_EQ(format_time(2.5e-3), "2.50 ms");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+    EXPECT_LT(rng.below(10), 10u);
+  }
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  SplitMix64 rng(123);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace bwlab

@@ -1,0 +1,266 @@
+// Tests for the evaluation core: configuration space (the exact row sets
+// of Figures 3/4), layouts, profile extraction and scaling, registry
+// integrity, report helpers, and performance-model properties
+// (monotonicity, roofline bounds, communication scaling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/app_registry.hpp"
+#include "core/perf_model.hpp"
+#include "core/report.hpp"
+
+namespace bwlab::core {
+namespace {
+
+// --- Configuration space ------------------------------------------------------
+
+TEST(Config, UnstructuredSpaceHas25RowsLikeFigure4) {
+  // Figure 4 shows 25 rows: {MPI, MPI vec, MPI+OpenMP} x 2 compilers x
+  // 2 ZMM x 2 HT = 24, plus the single MPI+SYCL row.
+  const auto space = config_space(sim::max9480(), AppClass::Unstructured);
+  EXPECT_EQ(space.size(), 25u);
+  int sycl = 0;
+  for (const Config& c : space) sycl += c.is_sycl() ? 1 : 0;
+  EXPECT_EQ(sycl, 1);
+}
+
+TEST(Config, StructuredSpaceShape) {
+  const auto space = config_space(sim::max9480(), AppClass::Structured);
+  // 2 compilers x 2 zmm x 2 ht x {MPI, MPI+OpenMP} + 4 SYCL rows.
+  EXPECT_EQ(space.size(), 20u);
+  // Labels unique.
+  std::set<std::string> labels;
+  for (const Config& c : space) labels.insert(c.label());
+  EXPECT_EQ(labels.size(), space.size());
+}
+
+TEST(Config, ClassicExcludedForMiniBude) {
+  // §5: "the Classic compilers generate code that stalls" on miniBUDE.
+  for (const Config& c : config_space(sim::max9480(), AppClass::ComputeBound))
+    EXPECT_NE(c.compiler, Compiler::Classic);
+}
+
+TEST(Config, AmdHasNoZmmNoHtNoSycl) {
+  for (const Config& c : config_space(sim::milanx(), AppClass::Structured)) {
+    EXPECT_EQ(c.compiler, Compiler::Aocc);
+    EXPECT_EQ(c.zmm, Zmm::Default);
+    EXPECT_FALSE(c.ht);
+    EXPECT_FALSE(c.is_sycl());
+  }
+}
+
+TEST(Config, GpuSpaceIsCudaOnly) {
+  const auto space = config_space(sim::a100(), AppClass::Structured);
+  ASSERT_EQ(space.size(), 1u);
+  EXPECT_EQ(space[0].par, ParMode::Gpu);
+}
+
+TEST(Config, Layouts) {
+  const auto& m = sim::max9480();
+  Layout mpi = layout(m, {Compiler::OneAPI, Zmm::High, true, ParMode::Mpi});
+  EXPECT_EQ(mpi.ranks, 224);  // one rank per hardware thread with HT
+  EXPECT_EQ(mpi.threads_per_rank, 1);
+  Layout omp =
+      layout(m, {Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp});
+  EXPECT_EQ(omp.ranks, 8);  // one per NUMA domain (SNC4 x 2)
+  EXPECT_EQ(omp.threads_per_rank, 14);
+  EXPECT_EQ(omp.total_threads(), 112);
+}
+
+// --- Profile extraction ---------------------------------------------------------
+
+TEST(Profile, ScaleProfileVolumesAndSurfaces) {
+  Instrumentation instr;
+  LoopRecord& interior = instr.loop("interior");
+  interior.calls = 10;
+  interior.points = 10 * 32 * 32;
+  interior.bytes = interior.points * 24;
+  interior.flops = static_cast<double>(interior.points) * 5;
+  interior.pattern = Pattern::Streaming;
+  LoopRecord& face = instr.loop("face");
+  face.calls = 10;
+  face.points = 10 * 32;
+  face.bytes = face.points * 8;
+  face.pattern = Pattern::Boundary;
+
+  const AppProfile p = scale_profile(instr, 5.0, 32.0, 320.0, 2);
+  ASSERT_EQ(p.kernels.size(), 2u);
+  // Interior scales with N^2 (x100), boundary with N (x10).
+  EXPECT_DOUBLE_EQ(p.kernels[0].calls_per_iter, 2.0);
+  EXPECT_DOUBLE_EQ(p.kernels[0].points_per_call, 32.0 * 32.0 * 100.0);
+  EXPECT_DOUBLE_EQ(p.kernels[0].bytes_per_point, 24.0);
+  EXPECT_DOUBLE_EQ(p.kernels[1].points_per_call, 32.0 * 10.0);
+}
+
+TEST(Registry, AllNineApplicationsPresent) {
+  EXPECT_EQ(all_apps().size(), 9u);
+  EXPECT_EQ(structured_apps().size(), 6u);
+  EXPECT_EQ(unstructured_apps().size(), 2u);
+  EXPECT_THROW(app_by_id("hpl"), Error);
+}
+
+TEST(Registry, ProfilesAreWellFormed) {
+  for (const AppInfo& a : all_apps()) {
+    SCOPED_TRACE(a.id);
+    EXPECT_FALSE(a.profile.kernels.empty());
+    EXPECT_GT(a.profile.total_bytes_per_iter(), 0.0);
+    EXPECT_GT(a.profile.total_flops_per_iter(), 0.0);
+    EXPECT_GT(a.profile.iterations, 0.0);
+    EXPECT_GT(a.profile.working_set_bytes, 1e6);
+    if (a.cls == AppClass::Structured) {
+      EXPECT_TRUE(a.profile.structured);
+      EXPECT_FALSE(a.profile.exchanges.empty())
+          << "structured apps must record halo traffic";
+    } else {
+      EXPECT_GT(a.profile.elements, 0.0);
+    }
+  }
+}
+
+TEST(Registry, PaperProblemSizes) {
+  EXPECT_DOUBLE_EQ(app_by_id("cloverleaf2d").profile.global[0], 7680.0);
+  EXPECT_DOUBLE_EQ(app_by_id("cloverleaf3d").profile.global[2], 408.0);
+  EXPECT_DOUBLE_EQ(app_by_id("acoustic").profile.global[0], 320.0);
+  EXPECT_DOUBLE_EQ(app_by_id("mgcfd").profile.elements, 8.0e6);
+  EXPECT_DOUBLE_EQ(app_by_id("volna").profile.elements, 30.0e6);
+  EXPECT_EQ(app_by_id("acoustic").profile.fp_bytes, 4u);   // SP
+  EXPECT_EQ(app_by_id("volna").profile.fp_bytes, 4u);      // SP
+  EXPECT_EQ(app_by_id("opensbli_sa").profile.fp_bytes, 8u);  // DP
+}
+
+// --- Report helpers -------------------------------------------------------------
+
+TEST(Report, NormalizeAndOrder) {
+  const std::vector<std::vector<double>> times = {{2.0, 3.0}, {1.0, 6.0},
+                                                  {4.0, 3.0}};
+  const auto norm = normalize_columns_to_best(times);
+  EXPECT_DOUBLE_EQ(norm[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(norm[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(norm[0][1], 1.0);
+  const auto order = order_rows_by_mean(norm);
+  EXPECT_EQ(order.front(), 0u);  // row 0 mean (2+1)/2 = 1.5 is smallest
+  const auto summary = summarize_slowdowns(norm);
+  EXPECT_GE(summary.mean, 1.0);
+  EXPECT_GE(summary.median, 1.0);
+}
+
+// --- Performance model: properties ----------------------------------------------
+
+TEST(PerfModel, TotalDecomposesAndIsPositive) {
+  const AppInfo& a = app_by_id("cloverleaf2d");
+  PerfModel pm(sim::max9480());
+  const Config c = default_config(sim::max9480(), a.cls);
+  const Prediction p = pm.predict(a.profile, c);
+  EXPECT_GT(p.kernel_s, 0.0);
+  EXPECT_GE(p.comm_s, 0.0);
+  EXPECT_NEAR(p.total(), p.kernel_s + p.overhead_s + p.comm_s, 1e-12);
+  EXPECT_GT(p.mpi_fraction(), 0.0);
+  EXPECT_LT(p.mpi_fraction(), 1.0);
+}
+
+TEST(PerfModel, EffectiveBandwidthBoundedByStream) {
+  // No configuration may exceed the machine's achieved STREAM bandwidth.
+  for (const sim::MachineModel* m : sim::cpu_machines()) {
+    PerfModel pm(*m);
+    for (const AppInfo* a : structured_apps()) {
+      const Config c = default_config(*m, a->cls);
+      const Prediction p = pm.predict(a->profile, c);
+      EXPECT_LE(p.eff_bw(), m->stream_triad_node * 1.12)
+          << a->id << " on " << m->id;
+    }
+  }
+}
+
+TEST(PerfModel, MoreIterationsMoreTime) {
+  AppProfile p = app_by_id("miniweather").profile;
+  PerfModel pm(sim::max9480());
+  const Config c = default_config(sim::max9480(), AppClass::Structured);
+  const double t1 = pm.predict(p, c).total();
+  p.iterations *= 2;
+  const double t2 = pm.predict(p, c).total();
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(PerfModel, CommDropsWithFewerRanks) {
+  // MPI+OpenMP sends fewer, larger messages than pure MPI — total
+  // communication time must be lower (the Figure 7 mechanism).
+  for (const AppInfo* a : structured_apps()) {
+    PerfModel pm(sim::max9480());
+    Config mpi{Compiler::OneAPI, Zmm::High, false, ParMode::Mpi};
+    Config omp{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
+    EXPECT_GT(pm.predict(a->profile, mpi).comm_s,
+              pm.predict(a->profile, omp).comm_s)
+        << a->id;
+  }
+}
+
+TEST(PerfModel, HyperthreadingEffectsMatchPaper) {
+  // §5: HT helps the latency-bound unstructured apps (~13%), hurts the
+  // compute-bound miniBUDE (~28%), and barely moves bandwidth-bound apps.
+  PerfModel pm(sim::max9480());
+  {
+    const AppProfile& p = app_by_id("minibude").profile;
+    Config off{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
+    Config on = off;
+    on.ht = true;
+    EXPECT_NEAR(pm.predict(p, on).total() / pm.predict(p, off).total(), 1.39,
+                0.05);
+  }
+  {
+    const AppProfile& p = app_by_id("mgcfd").profile;
+    Config off{Compiler::OneAPI, Zmm::High, false, ParMode::Mpi};
+    Config on = off;
+    on.ht = true;
+    EXPECT_LT(pm.predict(p, on).total(), pm.predict(p, off).total());
+  }
+}
+
+TEST(PerfModel, ZmmHighHelpsComputeBoundByPaperAmount) {
+  // §5: miniBUDE gains ~45% from ZMM high.
+  PerfModel pm(sim::max9480());
+  const AppProfile& p = app_by_id("minibude").profile;
+  Config high{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
+  Config dflt = high;
+  dflt.zmm = Zmm::Default;
+  EXPECT_NEAR(pm.predict(p, dflt).total() / pm.predict(p, high).total(), 1.45,
+              0.1);
+}
+
+TEST(PerfModel, SyclSlowerThanOpenMpMostForBoundaryHeavyApps) {
+  // §5.1: the SYCL gap is largest for CloverLeaf's many small boundary
+  // kernels.
+  PerfModel pm(sim::max9480());
+  auto gap = [&](const char* id) {
+    const AppProfile& p = app_by_id(id).profile;
+    Config omp{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
+    Config sycl = omp;
+    sycl.par = ParMode::MpiSyclFlat;
+    return pm.predict(p, sycl).total() / pm.predict(p, omp).total();
+  };
+  EXPECT_GT(gap("cloverleaf2d"), 1.0);
+  EXPECT_GT(gap("cloverleaf3d"), gap("opensbli_sn"));
+}
+
+TEST(PerfModel, TiledAlwaysFasterOnCloverleaf2D) {
+  const AppProfile& p = app_by_id("cloverleaf2d").profile;
+  for (const sim::MachineModel* m : sim::cpu_machines()) {
+    PerfModel pm(*m);
+    const Config c = default_config(*m, AppClass::Structured);
+    EXPECT_LT(pm.predict_tiled(p, c).total(), pm.predict(p, c).total())
+        << m->id;
+  }
+}
+
+TEST(PerfModel, GpuHasNoCommOnlyLaunchOverhead) {
+  const AppProfile& p = app_by_id("cloverleaf2d").profile;
+  PerfModel pm(sim::a100());
+  const Prediction pred =
+      pm.predict(p, default_config(sim::a100(), AppClass::Structured));
+  EXPECT_EQ(pred.comm_s, 0.0);
+  EXPECT_GT(pred.overhead_s, 0.0);
+}
+
+}  // namespace
+}  // namespace bwlab::core

@@ -1,0 +1,291 @@
+// End-to-end reproduction checks: the model-generated figures must show
+// the paper's headline shapes. Each test names the paper artifact it
+// guards. These are the assertions EXPERIMENTS.md reports against.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/app_registry.hpp"
+#include "core/perf_model.hpp"
+#include "core/report.hpp"
+
+namespace bwlab::core {
+namespace {
+
+double best_time(const AppInfo& a, const sim::MachineModel& m,
+                 Config* best_cfg = nullptr) {
+  double best = 1e300;
+  for (const Config& c : config_space(m, a.cls)) {
+    const double t = PerfModel(m).predict(a.profile, c).total();
+    if (t < best) {
+      best = t;
+      if (best_cfg) *best_cfg = c;
+    }
+  }
+  return best;
+}
+
+// --- Figure 6: best-performance platform comparison -------------------------
+
+TEST(Fig6, MaxWinsOnEveryApplication) {
+  for (const AppInfo& a : all_apps()) {
+    const double tm = best_time(a, sim::max9480());
+    EXPECT_LT(tm, best_time(a, sim::icx8360y())) << a.id;
+    EXPECT_LT(tm, best_time(a, sim::milanx())) << a.id;
+  }
+}
+
+TEST(Fig6, SpeedupsInPaperBand) {
+  // Conclusions: "outperformed the other CPUs studied by 2-4.3x" with
+  // miniBUDE's 1.36x vs the EPYC as the low end. Allow a modest modeling
+  // margin around the band.
+  for (const AppInfo& a : all_apps()) {
+    const double tm = best_time(a, sim::max9480());
+    const double s_icx = best_time(a, sim::icx8360y()) / tm;
+    const double s_amd = best_time(a, sim::milanx()) / tm;
+    EXPECT_GE(s_icx, 1.3) << a.id;
+    EXPECT_LE(s_icx, 4.8) << a.id;
+    EXPECT_GE(s_amd, 1.2) << a.id;
+    EXPECT_LE(s_amd, 4.8) << a.id;
+  }
+}
+
+TEST(Fig6, HeadlineSpeedupsVs8360Y) {
+  // CloverLeaf 2D 4.2x, OpenSBLI SA 3.8x, miniBUDE 1.9x (§6 text).
+  auto speedup = [&](const char* id) {
+    const AppInfo& a = app_by_id(id);
+    return best_time(a, sim::icx8360y()) / best_time(a, sim::max9480());
+  };
+  EXPECT_NEAR(speedup("cloverleaf2d"), 4.2, 0.5);
+  EXPECT_NEAR(speedup("opensbli_sa"), 3.8, 0.5);
+  EXPECT_NEAR(speedup("minibude"), 1.9, 0.3);
+}
+
+TEST(Fig6, MgcfdAndMinibudeVsEpyc) {
+  // §6: MG-CFD ~2.0x and miniBUDE 1.36x vs the 7V73X.
+  auto speedup = [&](const char* id) {
+    const AppInfo& a = app_by_id(id);
+    return best_time(a, sim::milanx()) / best_time(a, sim::max9480());
+  };
+  EXPECT_NEAR(speedup("mgcfd"), 2.0, 0.6);
+  EXPECT_NEAR(speedup("minibude"), 1.36, 0.15);
+}
+
+TEST(Fig6, BandwidthBoundAppsGainMoreThanComputeBound) {
+  auto speedup = [&](const char* id) {
+    const AppInfo& a = app_by_id(id);
+    return best_time(a, sim::icx8360y()) / best_time(a, sim::max9480());
+  };
+  EXPECT_GT(speedup("cloverleaf2d"), speedup("minibude"));
+  EXPECT_GT(speedup("opensbli_sa"), speedup("minibude"));
+}
+
+TEST(Fig6, A100FasterThanMaxUntiled) {
+  // §6: the A100 is 1.1-2.1x faster, most pronounced away from the pure
+  // bandwidth-bound codes.
+  std::vector<double> ratios;
+  for (const AppInfo& a : all_apps()) {
+    const double tg =
+        PerfModel(sim::a100())
+            .predict(a.profile, default_config(sim::a100(), a.cls))
+            .total();
+    ratios.push_back(best_time(a, sim::max9480()) / tg);
+  }
+  for (double r : ratios) {
+    EXPECT_GT(r, 0.95);
+    EXPECT_LT(r, 2.4);
+  }
+}
+
+TEST(Fig6, MiniBudeReachesPaperFlopRate) {
+  // §5: ~6 TFLOP/s on the MAX CPU with OneAPI, ZMM high, no HT.
+  const AppInfo& a = app_by_id("minibude");
+  const Config c{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
+  const Prediction p = PerfModel(sim::max9480()).predict(a.profile, c);
+  EXPECT_NEAR(p.achieved_flops() / 1e12, 6.0, 0.8);
+}
+
+// --- Figure 5: parallelization comparison on MAX ------------------------------
+
+TEST(Fig5, HybridBestOrCloseOnStructured) {
+  // §5: "MPI+OpenMP works best on average" for structured apps; Acoustic
+  // (comm-limited) benefits most.
+  PerfModel pm(sim::max9480());
+  double acoustic_gain = 0, clover2d_gain = 0;
+  for (const AppInfo* a : structured_apps()) {
+    const Config mpi{Compiler::OneAPI, Zmm::High, false, ParMode::Mpi};
+    Config omp = mpi;
+    omp.par = ParMode::MpiOmp;
+    const double gain =
+        pm.predict(a->profile, mpi).total() / pm.predict(a->profile, omp).total();
+    EXPECT_GT(gain, 0.93) << a->id;  // never far behind pure MPI
+    if (a->id == "acoustic") acoustic_gain = gain;
+    if (a->id == "cloverleaf2d") clover2d_gain = gain;
+  }
+  EXPECT_GT(acoustic_gain, 1.05);          // the comm-bound app gains
+  EXPECT_GT(acoustic_gain, clover2d_gain);  // ... more than CloverLeaf 2D
+}
+
+TEST(Fig5, VecBeatsScalarMpiByPaperFactor) {
+  // §5/Fig 5: MPI-vec outperforms the others by ~1.6-1.8x on the
+  // unstructured apps.
+  PerfModel pm(sim::max9480());
+  for (const AppInfo* a : unstructured_apps()) {
+    const Config mpi{Compiler::OneAPI, Zmm::High, false, ParMode::Mpi};
+    Config vec = mpi;
+    vec.par = ParMode::MpiVec;
+    const double gain =
+        pm.predict(a->profile, mpi).total() / pm.predict(a->profile, vec).total();
+    EXPECT_GT(gain, 1.4) << a->id;
+    EXPECT_LT(gain, 2.2) << a->id;
+  }
+}
+
+TEST(Fig5, SyclBehindOpenMpEverywhere) {
+  PerfModel pm(sim::max9480());
+  for (const AppInfo& a : all_apps()) {
+    const Config omp{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
+    Config sycl = omp;
+    sycl.par = ParMode::MpiSyclFlat;
+    EXPECT_GE(pm.predict(a.profile, sycl).total(),
+              pm.predict(a.profile, omp).total() * 0.999)
+        << a.id;
+  }
+}
+
+// --- Figure 3: structured configuration sweep ---------------------------------
+
+TEST(Fig3, SlowdownStatisticsNearPaper) {
+  // §5: mean slowdown vs best 1.25 (median 1.12) on MAX; only 1.11 (1.05)
+  // on the 8360Y — the MAX is more configuration-sensitive.
+  auto stats = [&](const sim::MachineModel& m) {
+    std::vector<std::vector<double>> times;
+    for (const Config& c : config_space(m, AppClass::Structured)) {
+      std::vector<double> row;
+      for (const AppInfo* a : structured_apps())
+        row.push_back(PerfModel(m).predict(a->profile, c).total());
+      times.push_back(std::move(row));
+    }
+    return summarize_slowdowns(normalize_columns_to_best(times));
+  };
+  const auto mx = stats(sim::max9480());
+  const auto icx = stats(sim::icx8360y());
+  EXPECT_GT(mx.mean, 1.05);
+  EXPECT_LT(mx.mean, 1.6);
+  EXPECT_GT(mx.mean, icx.mean);  // the headline sensitivity claim
+}
+
+TEST(Fig3, OneApiBetterOnAverageClassicWorstForMiniWeather) {
+  // §5: OneAPI ahead on average; Classic 34% behind on miniWeather and
+  // 15% behind on Acoustic.
+  PerfModel pm(sim::max9480());
+  auto time_with = [&](const char* id, Compiler comp) {
+    Config c{comp, Zmm::High, false, ParMode::MpiOmp};
+    return pm.predict(app_by_id(id).profile, c).total();
+  };
+  EXPECT_NEAR(time_with("miniweather", Compiler::Classic) /
+                  time_with("miniweather", Compiler::OneAPI),
+              1.34, 0.02);
+  EXPECT_NEAR(time_with("acoustic", Compiler::Classic) /
+                  time_with("acoustic", Compiler::OneAPI),
+              1.15, 0.04);  // communication dilutes the kernel-level 15%
+  // Classic is best on CloverLeaf 2D (OneAPI within 4-6%).
+  EXPECT_LT(time_with("cloverleaf2d", Compiler::Classic),
+            time_with("cloverleaf2d", Compiler::OneAPI));
+}
+
+// --- Figure 7: MPI overhead ----------------------------------------------------
+
+TEST(Fig7, HybridReducesMpiFraction) {
+  for (const sim::MachineModel* m : sim::cpu_machines()) {
+    PerfModel pm(*m);
+    for (const AppInfo* a : structured_apps()) {
+      Config mpi{m->has_avx512 ? Compiler::OneAPI : Compiler::Aocc,
+                 Zmm::Default, false, ParMode::Mpi};
+      Config omp = mpi;
+      omp.par = ParMode::MpiOmp;
+      // Allow a 3% tie-band: on the EPYC's 4-NUMA layout the two
+      // placements produce nearly identical traffic.
+      EXPECT_GE(pm.predict(a->profile, mpi).mpi_fraction(),
+                pm.predict(a->profile, omp).mpi_fraction() * 0.97)
+          << a->id << " on " << m->id;
+    }
+  }
+}
+
+TEST(Fig7, MaxShiftsTowardLatencyBottleneck) {
+  // §6: the MPI fraction on the MAX CPU is 1.2-5.3x that of the 8360Y for
+  // most applications (compute shrinks, communication latency does not).
+  PerfModel pmx(sim::max9480());
+  PerfModel pix(sim::icx8360y());
+  int higher = 0, total = 0;
+  for (const AppInfo* a : structured_apps()) {
+    const Config mpi{Compiler::OneAPI, Zmm::Default, false, ParMode::Mpi};
+    const double fx = pmx.predict(a->profile, mpi).mpi_fraction();
+    const double fi = pix.predict(a->profile, mpi).mpi_fraction();
+    ++total;
+    if (fx > fi) ++higher;
+  }
+  EXPECT_GE(higher, total - 1);  // "aside from CloverLeaf 2D"
+}
+
+// --- Figure 8: effective bandwidth on MAX --------------------------------------
+
+TEST(Fig8, EffectiveBandwidthFractionsMatchPaper) {
+  // CloverLeaf 2D ~75%, CloverLeaf 3D / OpenSBLI SA >65%, OpenSBLI SN
+  // ~53%, Acoustic ~41% of the achieved STREAM bandwidth.
+  PerfModel pm(sim::max9480());
+  auto frac = [&](const char* id) {
+    const AppInfo& a = app_by_id(id);
+    Config c;
+    best_time(a, sim::max9480(), &c);
+    return PerfModel(sim::max9480()).predict(a.profile, c).eff_bw() /
+           sim::max9480().stream_triad_node;
+  };
+  EXPECT_NEAR(frac("cloverleaf2d"), 0.75, 0.08);
+  EXPECT_GT(frac("cloverleaf3d"), 0.62);
+  EXPECT_GT(frac("opensbli_sa"), 0.55);
+  EXPECT_NEAR(frac("opensbli_sn"), 0.53, 0.10);
+  EXPECT_NEAR(frac("acoustic"), 0.41, 0.06);
+  // Ordering: the cache-heavy Acoustic is the least efficient.
+  EXPECT_LT(frac("acoustic"), frac("opensbli_sn"));
+  EXPECT_LT(frac("opensbli_sn"), frac("cloverleaf2d"));
+}
+
+// --- Figure 9: cache-blocking tiling --------------------------------------------
+
+TEST(Fig9, TilingGainsOrderedByCacheRatio) {
+  // §6: gains of 1.84x (MAX), 2.7x (8360Y), 4x (7V73X), correlating with
+  // the cache:memory bandwidth ratios 3.8 / 6.3 / 14.
+  const AppProfile& p = app_by_id("cloverleaf2d").profile;
+  auto gain = [&](const sim::MachineModel& m) {
+    PerfModel pm(m);
+    const Config c = default_config(m, AppClass::Structured);
+    return pm.predict(p, c).total() / pm.predict_tiled(p, c).total();
+  };
+  const double g_max = gain(sim::max9480());
+  const double g_icx = gain(sim::icx8360y());
+  const double g_amd = gain(sim::milanx());
+  EXPECT_NEAR(g_max, 1.84, 0.4);
+  EXPECT_NEAR(g_icx, 2.7, 0.5);
+  EXPECT_NEAR(g_amd, 4.0, 1.0);
+  EXPECT_LT(g_max, g_icx);
+  EXPECT_LT(g_icx, g_amd);
+}
+
+TEST(Fig9, TiledMaxBeatsA100) {
+  // §6: with tiling the MAX CPU outperforms the A100 by ~1.5x.
+  const AppProfile& p = app_by_id("cloverleaf2d").profile;
+  const Config cm = default_config(sim::max9480(), AppClass::Structured);
+  const double t_max =
+      PerfModel(sim::max9480()).predict_tiled(p, cm).total();
+  const double t_gpu =
+      PerfModel(sim::a100())
+          .predict(p, default_config(sim::a100(), AppClass::Structured))
+          .total();
+  EXPECT_NEAR(t_gpu / t_max, 1.5, 0.5);
+  EXPECT_GT(t_gpu / t_max, 1.0);
+}
+
+}  // namespace
+}  // namespace bwlab::core

@@ -1,0 +1,61 @@
+// Tests for the host microbenchmarks: BabelStream kernel correctness
+// (validated against the analytically-propagated values, as the real
+// BabelStream does) and the core-to-core latency harness.
+#include <gtest/gtest.h>
+
+#include "microbench/babelstream.hpp"
+#include "microbench/c2c_latency.hpp"
+
+namespace bwlab::micro {
+namespace {
+
+class StreamSizes : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(StreamSizes, KernelsValidateAfterRepetitions) {
+  par::ThreadPool pool(2);
+  BabelStream bs(GetParam(), pool);
+  const auto results = bs.run_all(3);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].kernel, "Copy");
+  EXPECT_EQ(results[3].kernel, "Triad");
+  for (const StreamResult& r : results) {
+    EXPECT_GT(r.bandwidth(), 0.0) << r.kernel;
+    EXPECT_GT(r.bytes_per_iter, 0u);
+  }
+  EXPECT_LT(bs.verify(3, bs.last_dot()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamSizes,
+                         ::testing::Values<idx_t>(1024, 100000, 1 << 20));
+
+TEST(Stream, ByteCountsFollowBabelStreamConvention) {
+  par::ThreadPool pool(1);
+  BabelStream bs(1000, pool);
+  const auto r = bs.run_all(1);
+  const count_t n8 = 1000 * sizeof(double);
+  EXPECT_EQ(r[0].bytes_per_iter, 2 * n8);  // copy: 1R + 1W
+  EXPECT_EQ(r[2].bytes_per_iter, 3 * n8);  // add: 2R + 1W
+  EXPECT_EQ(r[3].bytes_per_iter, 3 * n8);  // triad: 2R + 1W
+}
+
+TEST(Stream, VerifyDetectsCorruption) {
+  par::ThreadPool pool(1);
+  BabelStream bs(256, pool);
+  bs.run_all(2);
+  // Deliberately wrong dot value must show up as error.
+  EXPECT_GT(bs.verify(2, /*dot_result=*/12345.0), 1e-3);
+}
+
+TEST(C2cLatency, ProducesFinitePositiveLatency) {
+  const LatencyResult r = measure_host(8, 20000);
+  EXPECT_EQ(r.messages, 20000u);
+  EXPECT_GT(r.ns_per_message, 0.0);
+  EXPECT_LT(r.ns_per_message, 1e7);  // sanity: < 10 ms even when scheduled
+}
+
+TEST(C2cLatency, RejectsZeroLines) {
+  EXPECT_THROW(measure_host(0, 100), Error);
+}
+
+}  // namespace
+}  // namespace bwlab::micro

@@ -1,0 +1,173 @@
+// Tests for the distributed (owner-compute) execution layer of mini-OP2:
+// plan invariants and an end-to-end distributed edge-flux loop over
+// SimMPI ranks matching the serial computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "op2/dist.hpp"
+#include "op2/meshgen.hpp"
+
+namespace bwlab::op2 {
+namespace {
+
+class DistPlanParts : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistPlanParts, PlanInvariants) {
+  const int parts = GetParam();
+  const TriMesh m = make_tri_mesh(16, 12, 1.0, 1.0, 7);
+  const Partition part = rcb_partition(m.cell_cx, m.cell_cy, {}, parts);
+  const DistPlan plan = build_dist_plan(m.edge_cells, part);
+  ASSERT_EQ(plan.nparts, parts);
+
+  // Owned cells partition the mesh; every edge executed exactly once.
+  idx_t owned = 0, edges = 0;
+  std::set<idx_t> seen_edges;
+  for (const RankLocal& r : plan.rank) {
+    owned += r.n_owned;
+    edges += static_cast<idx_t>(r.edges_global.size());
+    for (idx_t e : r.edges_global) EXPECT_TRUE(seen_edges.insert(e).second);
+    // Local references stay inside the local array.
+    for (idx_t l : r.edge_cells_local) {
+      EXPECT_GE(l, -1);
+      EXPECT_LT(l, r.n_local());
+    }
+    // Ghost blocks tile the tail of the local numbering.
+    idx_t at = r.n_owned;
+    for (std::size_t k = 0; k < r.neighbors.size(); ++k) {
+      EXPECT_EQ(r.recv_begin[k], at);
+      at += r.recv_count[k];
+    }
+    EXPECT_EQ(at, r.n_local());
+  }
+  EXPECT_EQ(owned, m.ncells);
+  EXPECT_EQ(edges, m.nedges);
+
+  // Send/receive lists are pairwise matched in size and in the global
+  // ids they enumerate.
+  for (int a = 0; a < parts; ++a) {
+    const RankLocal& ra = plan.rank[static_cast<std::size_t>(a)];
+    for (std::size_t k = 0; k < ra.neighbors.size(); ++k) {
+      const int b = ra.neighbors[k];
+      const RankLocal& rb = plan.rank[static_cast<std::size_t>(b)];
+      const auto kb =
+          std::find(rb.neighbors.begin(), rb.neighbors.end(), a) -
+          rb.neighbors.begin();
+      ASSERT_LT(kb, static_cast<std::ptrdiff_t>(rb.neighbors.size()));
+      EXPECT_EQ(ra.send_ids[k].size(),
+                static_cast<std::size_t>(
+                    rb.recv_count[static_cast<std::size_t>(kb)]));
+      for (std::size_t i = 0; i < ra.send_ids[k].size(); ++i) {
+        const idx_t g_send =
+            ra.cells_global[static_cast<std::size_t>(ra.send_ids[k][i])];
+        const idx_t g_recv = rb.cells_global[static_cast<std::size_t>(
+            rb.recv_begin[static_cast<std::size_t>(kb)] +
+            static_cast<idx_t>(i))];
+        EXPECT_EQ(g_send, g_recv);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, DistPlanParts, ::testing::Values(2, 4, 7));
+
+TEST(Dist, DistributedFluxLoopMatchesSerial) {
+  const TriMesh m = make_tri_mesh(20, 14, 1.0, 1.0, 33);
+  Set cells("cells", m.ncells), edges("edges", m.nedges);
+  Map e2c("e2c", edges, cells, 2, m.edge_cells);
+
+  // Global input and serial reference.
+  Dat<double> q(cells, "q", 2), ref(cells, "ref", 2);
+  q.fill_indexed([](idx_t e, int c) {
+    return std::sin(0.1 * double(e)) + 0.3 * c;
+  });
+  ref.fill(0.0);
+  Runtime rt(1);
+  auto kern = [](const double* a, const double* b, double* ia, double* ib) {
+    for (int c = 0; c < 2; ++c) {
+      const double f = a[c] * 0.5 - b[c] * 0.25;
+      ia[c] += f;
+      ib[c] -= f;
+    }
+  };
+  par_loop(rt, {"flux", 4.0}, edges, Mode::Serial, kern, read_via(q, e2c, 0),
+           read_via(q, e2c, 1), inc_via(ref, e2c, 0), inc_via(ref, e2c, 1));
+
+  // Distributed: 4 SimMPI ranks, owner-compute with halo exchanges.
+  const int nranks = 4;
+  const Partition part = rcb_partition(m.cell_cx, m.cell_cy, {}, nranks);
+  const DistPlan plan = build_dist_plan(m.edge_cells, part);
+  std::vector<double> gathered(static_cast<std::size_t>(m.ncells * 2), 0.0);
+
+  par::run_ranks(nranks, [&](par::Comm& comm) {
+    const RankLocal& local = plan.rank[static_cast<std::size_t>(comm.rank())];
+    Set lcells("lcells", local.n_local());
+    Set ledges("ledges", static_cast<idx_t>(local.edges_global.size()));
+    Map le2c("le2c", ledges, lcells, 2, local.edge_cells_local);
+    Dat<double> lq(lcells, "lq", 2), lacc(lcells, "lacc", 2);
+    scatter_local(local, q, lq);
+    // Forward exchange is strictly needed only if owned values changed
+    // since scatter; run it anyway to exercise the path.
+    halo_gather(comm, local, lq);
+    lacc.fill(0.0);
+    Runtime lrt(1);
+    par_loop(lrt, {"flux", 4.0}, ledges, Mode::Serial, kern,
+             read_via(lq, le2c, 0), read_via(lq, le2c, 1),
+             inc_via(lacc, le2c, 0), inc_via(lacc, le2c, 1));
+    // Ship ghost contributions home.
+    halo_scatter_add(comm, local, lacc);
+    // Collect owned results into the shared buffer (each global cell is
+    // owned by exactly one rank, so no write conflicts).
+    for (idx_t l = 0; l < local.n_owned; ++l) {
+      const idx_t g = local.cells_global[static_cast<std::size_t>(l)];
+      gathered[static_cast<std::size_t>(2 * g)] = lacc.at(l, 0);
+      gathered[static_cast<std::size_t>(2 * g + 1)] = lacc.at(l, 1);
+    }
+  });
+
+  for (idx_t c = 0; c < m.ncells; ++c)
+    for (int d = 0; d < 2; ++d)
+      EXPECT_NEAR(gathered[static_cast<std::size_t>(2 * c + d)],
+                  ref.at(c, d), 1e-12)
+          << "cell " << c;
+}
+
+TEST(Dist, GatherRefreshesGhostsAfterOwnerUpdate) {
+  const TriMesh m = make_tri_mesh(8, 8, 1.0, 1.0, 5);
+  const Partition part = rcb_partition(m.cell_cx, m.cell_cy, {}, 2);
+  const DistPlan plan = build_dist_plan(m.edge_cells, part);
+  Set cells("cells", m.ncells);
+  Dat<double> q(cells, "q", 1);
+  q.fill_indexed([](idx_t e, int) { return double(e); });
+
+  par::run_ranks(2, [&](par::Comm& comm) {
+    const RankLocal& local = plan.rank[static_cast<std::size_t>(comm.rank())];
+    Set lcells("lcells", local.n_local());
+    Dat<double> lq(lcells, "lq", 1);
+    scatter_local(local, q, lq);
+    // Owners bump their values; ghosts must follow after the gather.
+    for (idx_t l = 0; l < local.n_owned; ++l) lq.at(l) += 1000.0;
+    halo_gather(comm, local, lq);
+    for (idx_t l = local.n_owned; l < local.n_local(); ++l) {
+      const idx_t g = local.cells_global[static_cast<std::size_t>(l)];
+      EXPECT_DOUBLE_EQ(lq.at(l), double(g) + 1000.0);
+    }
+  });
+}
+
+TEST(Dist, GhostCountTracksRcbSurface) {
+  // More parts => more ghosts, but sub-linearly (surface scaling) — the
+  // property the unstructured communication model relies on.
+  const TriMesh m = make_tri_mesh(32, 32, 1.0, 1.0, 9);
+  auto ghosts = [&](int parts) {
+    const Partition p = rcb_partition(m.cell_cx, m.cell_cy, {}, parts);
+    return build_dist_plan(m.edge_cells, p).total_ghosts();
+  };
+  const count_t g2 = ghosts(2), g8 = ghosts(8);
+  EXPECT_GT(g8, g2);
+  EXPECT_LE(g8, 4 * g2);  // equality on a perfectly regular mesh
+}
+
+}  // namespace
+}  // namespace bwlab::op2

@@ -1,0 +1,253 @@
+// Tests for the parallel runtime substrate: thread pool, SimMPI (ranks as
+// threads), and cartesian partitioning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "par/partition.hpp"
+#include "par/simmpi.hpp"
+#include "par/thread_pool.hpp"
+
+namespace bwlab::par {
+namespace {
+
+// --- ThreadPool -------------------------------------------------------------
+
+class PoolSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolSizes, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, 257, [&](idx_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(PoolSizes, ReduceSumMatchesClosedForm) {
+  ThreadPool pool(GetParam());
+  const idx_t n = 10001;
+  const double s =
+      pool.parallel_reduce_sum(0, n, [](idx_t i) { return double(i); });
+  EXPECT_DOUBLE_EQ(s, double(n - 1) * double(n) / 2.0);
+}
+
+TEST_P(PoolSizes, RunExecutesEveryMember) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(pool.size()));
+  pool.run([&](int tid) { seen[static_cast<std::size_t>(tid)].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizes, ::testing::Values(1, 2, 3, 7));
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(5);
+  std::vector<bool> covered(103, false);
+  for (int t = 0; t < 5; ++t) {
+    const auto [lo, hi] = pool.chunk(0, 103, t);
+    for (idx_t i = lo; i < hi; ++i) {
+      EXPECT_FALSE(covered[static_cast<std::size_t>(i)]);
+      covered[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  int count = 0;
+  pool.parallel_for(5, 5, [&](idx_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int rep = 0; rep < 200; ++rep)
+    pool.parallel_for(0, 64, [&](idx_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 200 * 64);
+}
+
+// --- SimMPI -----------------------------------------------------------------
+
+TEST(SimMpi, PingPong) {
+  run_ranks(2, [](Comm& c) {
+    double x = c.rank() == 0 ? 42.0 : 0.0;
+    if (c.rank() == 0) {
+      c.send(1, 7, &x, sizeof(x));
+      c.recv(1, 8, &x, sizeof(x));
+      EXPECT_DOUBLE_EQ(x, 43.0);
+    } else {
+      c.recv(0, 7, &x, sizeof(x));
+      x += 1.0;
+      c.send(0, 8, &x, sizeof(x));
+    }
+  });
+}
+
+TEST(SimMpi, TagMatchingOutOfOrder) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      int a = 1, b = 2;
+      c.send(1, 100, &a, sizeof(a));
+      c.send(1, 200, &b, sizeof(b));
+    } else {
+      int a = 0, b = 0;
+      // Receive in reverse tag order: matching is per (src, tag).
+      c.recv(0, 200, &b, sizeof(b));
+      c.recv(0, 100, &a, sizeof(a));
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+    }
+  });
+}
+
+TEST(SimMpi, IsendIrecvWaitAll) {
+  run_ranks(3, [](Comm& c) {
+    const int me = c.rank();
+    const int n = c.size();
+    std::vector<double> out(static_cast<std::size_t>(n), double(me));
+    std::vector<double> in(static_cast<std::size_t>(n), -1.0);
+    std::vector<Comm::Request> reqs;
+    for (int r = 0; r < n; ++r) {
+      if (r == me) continue;
+      reqs.push_back(c.irecv(r, 5, &in[static_cast<std::size_t>(r)],
+                             sizeof(double)));
+      reqs.push_back(c.isend(r, 5, &out[static_cast<std::size_t>(r)],
+                             sizeof(double)));
+    }
+    c.wait_all(reqs);
+    for (int r = 0; r < n; ++r)
+      if (r != me) {
+        EXPECT_DOUBLE_EQ(in[static_cast<std::size_t>(r)], double(r));
+      }
+  });
+}
+
+class AllreduceRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceRanks, SumMinMax) {
+  const int n = GetParam();
+  run_ranks(n, [n](Comm& c) {
+    const double me = static_cast<double>(c.rank() + 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(me), n * (n + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_min(me), 1.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(me), static_cast<double>(n));
+    // Vector form.
+    double v[2] = {me, -me};
+    c.allreduce(v, 2, ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(v[0], n * (n + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(v[1], -n * (n + 1) / 2.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, AllreduceRanks, ::testing::Values(1, 2, 5, 8));
+
+TEST(SimMpi, BackToBackCollectivesStayInSync) {
+  run_ranks(4, [](Comm& c) {
+    for (int i = 0; i < 50; ++i) {
+      const double s = c.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(s, 4.0);
+      c.barrier();
+    }
+  });
+}
+
+TEST(SimMpi, CommSecondsAccounted) {
+  const auto stats = run_ranks(2, [](Comm& c) {
+    if (c.rank() == 1) {
+      // Make rank 0 wait measurably.
+      volatile double x = 0;
+      for (int i = 0; i < 2000000; ++i) x = x + 1.0;
+      (void)x;
+    }
+    c.barrier();
+  });
+  // Rank 0 blocked in the barrier while rank 1 computed.
+  EXPECT_GT(stats[0].comm_seconds, 0.0);
+}
+
+TEST(SimMpi, ExceptionInOneRankPropagatesWithoutDeadlock) {
+  EXPECT_THROW(run_ranks(3,
+                         [](Comm& c) {
+                           if (c.rank() == 1)
+                             BWLAB_REQUIRE(false, "rank 1 fails");
+                           // Other ranks block; the abort must wake them.
+                           double x = 0;
+                           c.recv(1, 9, &x, sizeof(x));
+                         }),
+               Error);
+}
+
+TEST(SimMpi, SizeMismatchDetected) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Comm& c) {
+                           double x = 0;
+                           if (c.rank() == 0) {
+                             c.send(1, 1, &x, 4);
+                           } else {
+                             c.recv(0, 1, &x, 8);
+                           }
+                         }),
+               Error);
+}
+
+// --- Partitioning -----------------------------------------------------------
+
+TEST(Partition, DimsCreateBalanced) {
+  EXPECT_EQ(dims_create(8, 3), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(dims_create(12, 2), (std::array<int, 3>{4, 3, 1}));
+  EXPECT_EQ(dims_create(7, 1), (std::array<int, 3>{7, 1, 1}));
+  EXPECT_EQ(dims_create(1, 3), (std::array<int, 3>{1, 1, 1}));
+  // Product always preserved.
+  for (int n : {2, 6, 24, 36, 100, 224}) {
+    for (int d : {1, 2, 3}) {
+      const auto dims = dims_create(n, d);
+      EXPECT_EQ(dims[0] * dims[1] * dims[2], n) << n << "," << d;
+    }
+  }
+}
+
+TEST(Partition, BlockRangePartitions) {
+  for (idx_t n : {10, 17, 64}) {
+    for (int p : {1, 3, 7}) {
+      idx_t covered = 0;
+      idx_t prev_hi = 0;
+      for (int b = 0; b < p; ++b) {
+        const auto [lo, hi] = block_range(n, p, b);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_GE(hi, lo);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Partition, CartGridNeighbors) {
+  CartGrid g(6, 2, {12, 18, 1});
+  EXPECT_EQ(g.nranks(), 6);
+  // Every rank's coords invert rank_at.
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(g.rank_at(g.coords(r)), r);
+  // Neighbor relations are symmetric.
+  for (int r = 0; r < 6; ++r)
+    for (int d = 0; d < 2; ++d) {
+      const int nb = g.neighbor(r, d, +1);
+      if (nb >= 0) {
+        EXPECT_EQ(g.neighbor(nb, d, -1), r);
+      }
+    }
+}
+
+TEST(Partition, CartGridAssignsLargestDimToLargestExtent) {
+  CartGrid g(6, 2, {4, 400, 1});
+  EXPECT_GE(g.dims[1], g.dims[0]);
+}
+
+}  // namespace
+}  // namespace bwlab::par

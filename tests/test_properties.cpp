@@ -1,0 +1,269 @@
+// Property-based sweeps across the whole (application x machine x
+// configuration) space: invariants that must hold for EVERY combination,
+// not just the calibrated points. These are the guard rails that keep
+// future tuning changes physically sensible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/app_registry.hpp"
+#include "core/perf_model.hpp"
+#include "ops/par_loop.hpp"
+#include "common/units.hpp"
+#include "sim/bandwidth.hpp"
+
+namespace bwlab::core {
+namespace {
+
+using AppMachine = std::tuple<const AppInfo*, const sim::MachineModel*>;
+
+std::vector<AppMachine> app_machine_grid() {
+  std::vector<AppMachine> out;
+  for (const AppInfo& a : all_apps())
+    for (const sim::MachineModel* m : sim::cpu_machines())
+      out.push_back({&a, m});
+  return out;
+}
+
+std::string app_machine_name(
+    const ::testing::TestParamInfo<AppMachine>& info) {
+  return std::get<0>(info.param)->id + "_" + std::get<1>(info.param)->id;
+}
+
+class EveryAppMachine : public ::testing::TestWithParam<AppMachine> {};
+
+TEST_P(EveryAppMachine, PredictionsFiniteAndDecomposed) {
+  const auto [a, m] = GetParam();
+  PerfModel pm(*m);
+  for (const Config& c : config_space(*m, a->cls)) {
+    const Prediction p = pm.predict(a->profile, c);
+    ASSERT_TRUE(std::isfinite(p.total())) << c.label();
+    EXPECT_GT(p.kernel_s, 0.0) << c.label();
+    EXPECT_GE(p.comm_s, 0.0) << c.label();
+    EXPECT_GE(p.overhead_s, 0.0) << c.label();
+    EXPECT_GE(p.mpi_fraction(), 0.0);
+    EXPECT_LT(p.mpi_fraction(), 0.95) << c.label();
+    EXPECT_EQ(p.kernels.size(), a->profile.kernels.size());
+  }
+}
+
+TEST_P(EveryAppMachine, KernelRoofsArePositiveAndBounded) {
+  const auto [a, m] = GetParam();
+  PerfModel pm(*m);
+  const Config c = default_config(*m, a->cls);
+  for (const KernelProfile& k : a->profile.kernels) {
+    const double bw = pm.kernel_bw(a->profile, k, c);
+    const double fr = pm.kernel_flop_rate(a->profile, k, c);
+    EXPECT_GT(bw, 1e9) << k.name;  // never below 1 GB/s on these machines
+    // Cache-resident working sets (miniBUDE) may exceed STREAM; nothing
+    // exceeds the fastest cache level.
+    double cache_top = m->stream_triad_node * 1.2;
+    sim::BandwidthModel bwm(*m);
+    for (const sim::CacheLevel& l : m->caches)
+      cache_top = std::max(cache_top, bwm.cache_bw(l, sim::Scope::Node));
+    EXPECT_LE(bw, cache_top) << k.name;
+    EXPECT_GT(fr, 1e10) << k.name;
+    EXPECT_LE(fr, m->fp32_peak(m->allcore_turbo_ghz) * 1.01) << k.name;
+  }
+}
+
+TEST_P(EveryAppMachine, CommMonotoneInExchangeVolume) {
+  const auto [a, m] = GetParam();
+  if (!a->profile.structured || a->profile.exchanges.empty())
+    GTEST_SKIP() << "structured comm only";
+  AppProfile doubled = a->profile;
+  for (ExchangeProfile& x : doubled.exchanges) x.exchanges_per_iter *= 2;
+  PerfModel pm(*m);
+  const Config c{m->has_avx512 ? Compiler::OneAPI : Compiler::Aocc,
+                 Zmm::Default, false, ParMode::Mpi};
+  EXPECT_GT(pm.comm_per_iter(doubled, c), pm.comm_per_iter(a->profile, c));
+}
+
+TEST_P(EveryAppMachine, ScalingProblemScalesKernelTime) {
+  const auto [a, m] = GetParam();
+  AppProfile big = a->profile;
+  for (KernelProfile& k : big.kernels) k.points_per_call *= 8;
+  big.working_set_bytes *= 8;
+  PerfModel pm(*m);
+  const Config c = default_config(*m, a->cls);
+  const double t1 = pm.predict(a->profile, c).kernel_s;
+  const double t8 = pm.predict(big, c).kernel_s;
+  EXPECT_GT(t8, 6.0 * t1);  // near-linear in points (bandwidth regime)
+  EXPECT_LT(t8, 10.0 * t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EveryAppMachine,
+                         ::testing::ValuesIn(app_machine_grid()),
+                         app_machine_name);
+
+// --- Whole-space dominance properties ----------------------------------------
+
+TEST(Dominance, MaxNeverLosesToDdrCpusInAnyFeasibleConfig) {
+  // Strongest form of the Figure 6 headline: even comparing best-of-space
+  // per machine, the MAX CPU wins every application.
+  for (const AppInfo& a : all_apps()) {
+    auto best = [&](const sim::MachineModel& m) {
+      double b = 1e300;
+      for (const Config& c : config_space(m, a.cls))
+        b = std::min(b, PerfModel(m).predict(a.profile, c).total());
+      return b;
+    };
+    const double tmax = best(sim::max9480());
+    EXPECT_LT(tmax, best(sim::icx8360y())) << a.id;
+    EXPECT_LT(tmax, best(sim::milanx())) << a.id;
+  }
+}
+
+TEST(Dominance, StreamingKernelNeverBeatsStreamRoof) {
+  // Synthetic pure-streaming profile: time can never be below
+  // bytes / STREAM on any machine or configuration.
+  AppProfile p;
+  p.app_id = "synthetic_stream";
+  p.structured = true;
+  p.ndims = 2;
+  p.fp_bytes = 8;
+  p.iterations = 10;
+  // Large enough that no platform's cache (including the 7V73X's 1.5 GB
+  // V-Cache) shelters any of it.
+  p.global = {16384, 16384, 1};
+  p.working_set_bytes = 3.0 * 16384 * 16384 * 8;
+  KernelProfile k;
+  k.name = "triad";
+  k.points_per_call = 16384.0 * 16384.0;
+  k.bytes_per_point = 24;
+  k.flops_per_point = 2;
+  k.pattern = Pattern::Streaming;
+  p.kernels.push_back(k);
+  for (const sim::MachineModel* m : sim::cpu_machines()) {
+    PerfModel pm(*m);
+    for (const Config& c : config_space(*m, AppClass::Structured)) {
+      const Prediction pred = pm.predict(p, c);
+      const double roof = pred.bytes / m->stream_triad_node;
+      EXPECT_GE(pred.kernel_s, roof * 0.999) << m->id << " " << c.label();
+    }
+  }
+}
+
+TEST(Dominance, TilingNeverHurtsBandwidthBoundChains) {
+  for (const char* id : {"cloverleaf2d", "cloverleaf3d", "miniweather"}) {
+    const AppProfile& p = app_by_id(id).profile;
+    for (const sim::MachineModel* m : sim::cpu_machines()) {
+      PerfModel pm(*m);
+      const Config c = default_config(*m, AppClass::Structured);
+      EXPECT_LE(pm.predict_tiled(p, c).total(),
+                pm.predict(p, c).total() * 1.02)
+          << id << " on " << m->id;
+    }
+  }
+}
+
+// --- Bandwidth-curve sweeps ----------------------------------------------------
+
+using MachineScope = std::tuple<const sim::MachineModel*, sim::Scope>;
+
+class CurveSweep : public ::testing::TestWithParam<MachineScope> {};
+
+TEST_P(CurveSweep, CurveWithinMachineEnvelope) {
+  const auto [m, scope] = GetParam();
+  sim::BandwidthModel bwm(*m);
+  double fastest = 0;
+  for (const sim::CacheLevel& l : m->caches)
+    fastest = std::max(fastest, bwm.cache_bw(l, scope));
+  for (double ws = 8 * kKiB; ws < 32 * kGiB; ws *= 2.7) {
+    const double bw = bwm.stream_bw(ws, scope);
+    EXPECT_GT(bw, 0.0);
+    EXPECT_LE(bw, fastest * 1.001) << "ws=" << ws;
+    EXPECT_GE(bw, bwm.mem_bw(scope) * 0.999) << "ws=" << ws;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scopes, CurveSweep,
+    ::testing::Combine(::testing::ValuesIn(sim::cpu_machines()),
+                       ::testing::Values(sim::Scope::OneNuma,
+                                         sim::Scope::OneSocket,
+                                         sim::Scope::Node)),
+    [](const auto& inf) {
+      // NB: no structured bindings here — the comma inside [m, s] would
+      // split the INSTANTIATE macro's arguments.
+      const sim::MachineModel* m = std::get<0>(inf.param);
+      const sim::Scope s = std::get<1>(inf.param);
+      return m->id + (s == sim::Scope::OneNuma     ? "_numa"
+                      : s == sim::Scope::OneSocket ? "_socket"
+                                                   : "_node");
+    });
+
+}  // namespace
+}  // namespace bwlab::core
+
+// --- Structured DSL property sweeps -------------------------------------------
+
+namespace bwlab::ops {
+namespace {
+
+struct BcCase {
+  Bc bc;
+  const char* name;
+};
+
+class BcRankSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BcRankSweep, DistributedFieldsMatchSerialForEveryBcAndRankCount) {
+  const auto [bc_idx, ranks] = GetParam();
+  const BcCase cases[] = {{Bc::Periodic, "periodic"},
+                          {Bc::CopyNearest, "copy"},
+                          {Bc::Reflect, "reflect"},
+                          {Bc::ReflectNeg, "reflectneg"}};
+  const Bc bc = cases[static_cast<std::size_t>(bc_idx)].bc;
+  const idx_t n = 24;
+
+  // Serial reference: one smoothing step including halo reads.
+  auto run_one = [&](par::Comm* comm, std::vector<double>& out) {
+    std::unique_ptr<Context> ctx = comm ? std::make_unique<Context>(*comm, 1)
+                                        : std::make_unique<Context>(1);
+    Block b(*ctx, "g", 2, {n, n, 1});
+    Dat<double> u(b, "u", 2), v(b, "v", 2);
+    u.set_bc_all(bc);
+    v.set_bc_all(bc);
+    u.fill_indexed([](idx_t i, idx_t j, idx_t) {
+      return std::cos(0.4 * double(i)) + 0.1 * double(j);
+    });
+    par_loop({"sm", 4.0}, b, Range::make2d(0, n, 0, n),
+             [](Acc<const double> a, Acc<double> o) {
+               o(0, 0) = a(-2, 0) + a(2, 0) + a(0, -2) + a(0, 2) -
+                         3.9 * a(0, 0);
+             },
+             read(u, Stencil::star(2, 2)), write(v));
+    // Gather owned values to global layout.
+    for (idx_t j = v.exec_lo(1); j < v.exec_hi(1); ++j)
+      for (idx_t i = v.exec_lo(0); i < v.exec_hi(0); ++i)
+        out[static_cast<std::size_t>(j * n + i)] = v.at(i, j);
+  };
+
+  std::vector<double> ref(static_cast<std::size_t>(n * n), 0.0);
+  run_one(nullptr, ref);
+  std::vector<double> dist(static_cast<std::size_t>(n * n), 0.0);
+  par::run_ranks(ranks, [&](par::Comm& c) { run_one(&c, dist); });
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    ASSERT_DOUBLE_EQ(dist[i], ref[i]) << "index " << i;
+}
+
+std::string bc_rank_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& inf) {
+  static const char* bc_names[] = {"periodic", "copy", "reflect",
+                                   "reflectneg"};
+  return std::string(
+             bc_names[static_cast<std::size_t>(std::get<0>(inf.param))]) +
+         "_r" + std::to_string(std::get<1>(inf.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BcsByRanks, BcRankSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(2, 3, 4, 6)),
+    bc_rank_name);
+
+}  // namespace
+}  // namespace bwlab::ops

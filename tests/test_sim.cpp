@@ -1,0 +1,218 @@
+// Tests for the machine models: Section 2 calibration targets (platform
+// table, STREAM plateaus, cache:memory ratios, latency classes), curve
+// properties (monotonicity, plateaus), topology classification, and the
+// communication model.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "sim/topology.hpp"
+
+namespace bwlab::sim {
+namespace {
+
+// --- Section 2 platform table --------------------------------------------
+
+TEST(Machine, PaperPlatformTable) {
+  const MachineModel& mx = max9480();
+  EXPECT_EQ(mx.total_cores(), 112);
+  EXPECT_EQ(mx.total_threads(), 224);
+  EXPECT_EQ(mx.total_numa(), 8);  // SNC4 x 2 sockets
+  // FP32 13.6 TF at base, 18.6 TF at all-core turbo (paper §2(1)).
+  EXPECT_NEAR(mx.fp32_peak(mx.base_clock_ghz) / 1e12, 13.6, 0.2);
+  EXPECT_NEAR(mx.fp32_peak(mx.allcore_turbo_ghz) / 1e12, 18.6, 0.2);
+
+  const MachineModel& icx = icx8360y();
+  EXPECT_EQ(icx.total_cores(), 72);
+  EXPECT_NEAR(icx.fp32_peak(icx.base_clock_ghz) / 1e12, 11.0, 0.2);
+
+  const MachineModel& amd = milanx();
+  EXPECT_EQ(amd.total_cores(), 120);
+  EXPECT_EQ(amd.smt, 1);  // SMT disabled on the Azure VM
+  EXPECT_NEAR(amd.fp32_peak(amd.base_clock_ghz) / 1e12, 8.45, 0.15);
+}
+
+TEST(Machine, FlopPerByteBalance) {
+  // Paper §2: 9.4 on MAX, 36 on 8360Y, 28 on 7V73X.
+  EXPECT_NEAR(max9480().flop_per_byte(), 9.4, 1.0);
+  EXPECT_NEAR(icx8360y().flop_per_byte(), 36.0, 10.0);
+  EXPECT_NEAR(milanx().flop_per_byte(), 28.0, 8.0);
+}
+
+TEST(Machine, RegistryLookup) {
+  EXPECT_EQ(&machine_by_id("max9480"), &max9480());
+  EXPECT_EQ(&machine_by_id("a100"), &a100());
+  EXPECT_THROW(machine_by_id("epyc9999"), bwlab::Error);
+  EXPECT_EQ(all_machines().size(), 4u);
+  EXPECT_EQ(cpu_machines().size(), 3u);
+}
+
+// --- Figure 1: bandwidth curve --------------------------------------------
+
+class BandwidthCurve : public ::testing::TestWithParam<const MachineModel*> {};
+
+TEST_P(BandwidthCurve, MonotoneNonIncreasing) {
+  BandwidthModel bwm(*GetParam());
+  double prev = 1e300;
+  for (double ws = 16 * kKiB; ws < 128 * kGiB; ws *= 1.3) {
+    const double bw = bwm.stream_bw(ws, Scope::Node);
+    EXPECT_LE(bw, prev * 1.0000001) << "ws=" << ws;
+    prev = bw;
+  }
+}
+
+TEST_P(BandwidthCurve, LargeArraysHitCalibratedPlateau) {
+  const MachineModel& m = *GetParam();
+  BandwidthModel bwm(m);
+  const double bw = bwm.stream_bw(64 * kGiB, Scope::Node);
+  EXPECT_NEAR(bw / m.stream_triad_node, 1.0, 0.02);
+}
+
+TEST_P(BandwidthCurve, ScopesOrdered) {
+  BandwidthModel bwm(*GetParam());
+  for (double ws : {1 * kMiB, 100 * kMiB, 8 * kGiB}) {
+    const double numa = bwm.stream_bw(ws, Scope::OneNuma);
+    const double sock = bwm.stream_bw(ws, Scope::OneSocket);
+    const double node = bwm.stream_bw(ws, Scope::Node);
+    EXPECT_LE(numa, sock * 1.0001);
+    EXPECT_LE(sock, node * 1.0001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, BandwidthCurve,
+                         ::testing::ValuesIn(all_machines()),
+                         [](const auto& inf) { return inf.param->id; });
+
+TEST(Bandwidth, PaperStreamNumbers) {
+  // Figure 1 plateaus: 1446 / 1643 (SS) / 296 / 310 GB/s.
+  BandwidthModel mx(max9480());
+  EXPECT_NEAR(mx.stream_bw(64 * kGiB, Scope::Node) / kGB, 1446, 20);
+  EXPECT_NEAR(mx.stream_bw(64 * kGiB, Scope::Node, true) / kGB, 1643, 20);
+  BandwidthModel icx(icx8360y());
+  EXPECT_NEAR(icx.stream_bw(64 * kGiB, Scope::Node) / kGB, 296, 5);
+  BandwidthModel amd(milanx());
+  EXPECT_NEAR(amd.stream_bw(64 * kGiB, Scope::Node) / kGB, 310, 5);
+}
+
+TEST(Bandwidth, CacheToMemRatiosMatchPaper) {
+  // §2/§6: 3.8x on MAX, 6.3x on 8360Y, 14x on 7V73X.
+  EXPECT_NEAR(BandwidthModel(max9480()).cache_to_mem_ratio(), 3.8, 0.5);
+  EXPECT_NEAR(BandwidthModel(icx8360y()).cache_to_mem_ratio(), 6.3, 0.8);
+  EXPECT_NEAR(BandwidthModel(milanx()).cache_to_mem_ratio(), 14.0, 2.0);
+}
+
+TEST(Bandwidth, StreamingStoresOnlyHelpOnMax) {
+  BandwidthModel mx(max9480());
+  EXPECT_GT(mx.mem_bw(Scope::Node, true), mx.mem_bw(Scope::Node, false));
+  BandwidthModel icx(icx8360y());
+  EXPECT_EQ(icx.mem_bw(Scope::Node, true), icx.mem_bw(Scope::Node, false));
+}
+
+// --- Figure 2: topology & latency ------------------------------------------
+
+TEST(Topology, ThreadLocations) {
+  const MachineModel& m = max9480();
+  // Thread 0: socket 0, numa 0, core 0, primary lane.
+  ThreadLocation t0 = locate_thread(m, 0);
+  EXPECT_EQ(t0.socket, 0);
+  EXPECT_EQ(t0.numa, 0);
+  EXPECT_EQ(t0.smt_lane, 0);
+  // Thread 112 is the hyperthread sibling of core 0.
+  ThreadLocation t112 = locate_thread(m, 112);
+  EXPECT_EQ(t112.core, 0);
+  EXPECT_EQ(t112.smt_lane, 1);
+  // Core 56 is the first core of socket 1.
+  ThreadLocation t56 = locate_thread(m, 56);
+  EXPECT_EQ(t56.socket, 1);
+  EXPECT_EQ(t56.numa, 4);
+  EXPECT_THROW(locate_thread(m, 224), bwlab::Error);
+}
+
+TEST(Topology, PairClassification) {
+  const MachineModel& m = max9480();
+  EXPECT_EQ(classify_pair(m, 0, 112), PairClass::SmtSibling);
+  EXPECT_EQ(classify_pair(m, 0, 1), PairClass::SameNuma);
+  EXPECT_EQ(classify_pair(m, 0, 20), PairClass::CrossNuma);  // numa 0 vs 1
+  EXPECT_EQ(classify_pair(m, 0, 60), PairClass::CrossSocket);
+}
+
+TEST(Topology, LatencyOrderingPerMachine) {
+  for (const MachineModel* m : cpu_machines()) {
+    EXPECT_LE(m->latency_ns(PairClass::SmtSibling),
+              m->latency_ns(PairClass::SameNuma));
+    EXPECT_LE(m->latency_ns(PairClass::SameNuma),
+              m->latency_ns(PairClass::CrossNuma));
+    EXPECT_LE(m->latency_ns(PairClass::CrossNuma),
+              m->latency_ns(PairClass::CrossSocket));
+  }
+}
+
+TEST(Topology, PaperLatencyContrasts) {
+  // Fig 2: EPYC cross-socket ~1.6x the Intel parts; no significant MAX
+  // improvement over the 8360Y.
+  const double amd_cs = milanx().lat_ns_cross_socket;
+  const double icx_cs = icx8360y().lat_ns_cross_socket;
+  EXPECT_NEAR(amd_cs / icx_cs, 1.6, 0.15);
+  const double max_cs = max9480().lat_ns_cross_socket;
+  EXPECT_GE(max_cs, icx_cs * 0.95);  // no big improvement, slight regression
+}
+
+TEST(Topology, Avx512ClockOnlyAffectsAvx512Machines) {
+  EXPECT_LT(effective_clock_ghz(max9480(), true),
+            effective_clock_ghz(max9480(), false));
+  EXPECT_EQ(effective_clock_ghz(milanx(), true),
+            effective_clock_ghz(milanx(), false));
+}
+
+// --- Communication model ---------------------------------------------------
+
+TEST(Comm, AlphaGrowsWithDistance) {
+  CommModel cm(max9480());
+  EXPECT_LT(cm.alpha_s(PairClass::SmtSibling), cm.alpha_s(PairClass::SameNuma));
+  EXPECT_LT(cm.alpha_s(PairClass::SameNuma),
+            cm.alpha_s(PairClass::CrossSocket));
+}
+
+TEST(Comm, BetaSharedAcrossPairs) {
+  CommModel cm(max9480());
+  const double b1 = cm.beta_bytes_per_s(PairClass::SameNuma, 8);
+  const double b2 = cm.beta_bytes_per_s(PairClass::SameNuma, 224);
+  EXPECT_GT(b1, b2);
+  // Cross-socket link penalty.
+  EXPECT_LT(cm.beta_bytes_per_s(PairClass::CrossSocket, 8), b1);
+  EXPECT_THROW(cm.beta_bytes_per_s(PairClass::SameNuma, 0), bwlab::Error);
+}
+
+TEST(Comm, MessageTimeMonotoneInSize) {
+  CommModel cm(icx8360y());
+  double prev = 0;
+  for (count_t bytes : {64u, 4096u, 262144u, 16777216u}) {
+    const double t = cm.message_time_s(PairClass::SameNuma, bytes, 16);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Comm, ThreadBarrierGrowsWithTeam) {
+  CommModel cm(max9480());
+  EXPECT_EQ(cm.thread_barrier_s(1), 0.0);
+  EXPECT_LT(cm.thread_barrier_s(2), cm.thread_barrier_s(28));
+  EXPECT_LT(cm.thread_barrier_s(28), cm.thread_barrier_s(224));
+}
+
+TEST(Comm, RankPairPlacement) {
+  CommModel cm(max9480());
+  // Pure MPI without SMT: 112 ranks, one per core. Adjacent ranks share a
+  // NUMA domain; rank 0 vs 56 crosses the socket.
+  EXPECT_EQ(cm.rank_pair_class(0, 1, 112, false), PairClass::SameNuma);
+  EXPECT_EQ(cm.rank_pair_class(0, 56, 112, false), PairClass::CrossSocket);
+  // One rank per NUMA domain: neighbors are at least cross-NUMA.
+  EXPECT_NE(cm.rank_pair_class(0, 1, 8, false), PairClass::SameNuma);
+  EXPECT_THROW(cm.rank_pair_class(0, 8, 8, false), bwlab::Error);
+}
+
+}  // namespace
+}  // namespace bwlab::sim
