@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vectorization.dir/bench/abl_vectorization.cpp.o"
+  "CMakeFiles/abl_vectorization.dir/bench/abl_vectorization.cpp.o.d"
+  "bench/abl_vectorization"
+  "bench/abl_vectorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

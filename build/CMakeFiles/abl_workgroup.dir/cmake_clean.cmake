@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_workgroup.dir/bench/abl_workgroup.cpp.o"
+  "CMakeFiles/abl_workgroup.dir/bench/abl_workgroup.cpp.o.d"
+  "bench/abl_workgroup"
+  "bench/abl_workgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_workgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

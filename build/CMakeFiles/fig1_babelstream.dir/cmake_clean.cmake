@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_babelstream.dir/bench/fig1_babelstream.cpp.o"
+  "CMakeFiles/fig1_babelstream.dir/bench/fig1_babelstream.cpp.o.d"
+  "bench/fig1_babelstream"
+  "bench/fig1_babelstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_babelstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

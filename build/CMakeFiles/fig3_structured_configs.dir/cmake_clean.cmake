@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_structured_configs.dir/bench/fig3_structured_configs.cpp.o"
+  "CMakeFiles/fig3_structured_configs.dir/bench/fig3_structured_configs.cpp.o.d"
+  "bench/fig3_structured_configs"
+  "bench/fig3_structured_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_structured_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

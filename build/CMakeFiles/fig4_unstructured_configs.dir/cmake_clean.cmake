@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_unstructured_configs.dir/bench/fig4_unstructured_configs.cpp.o"
+  "CMakeFiles/fig4_unstructured_configs.dir/bench/fig4_unstructured_configs.cpp.o.d"
+  "bench/fig4_unstructured_configs"
+  "bench/fig4_unstructured_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unstructured_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_parallelizations.dir/bench/fig5_parallelizations.cpp.o"
+  "CMakeFiles/fig5_parallelizations.dir/bench/fig5_parallelizations.cpp.o.d"
+  "bench/fig5_parallelizations"
+  "bench/fig5_parallelizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_parallelizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_platforms.dir/bench/fig6_platforms.cpp.o"
+  "CMakeFiles/fig6_platforms.dir/bench/fig6_platforms.cpp.o.d"
+  "bench/fig6_platforms"
+  "bench/fig6_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

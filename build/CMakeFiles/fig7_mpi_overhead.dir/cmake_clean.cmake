@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mpi_overhead.dir/bench/fig7_mpi_overhead.cpp.o"
+  "CMakeFiles/fig7_mpi_overhead.dir/bench/fig7_mpi_overhead.cpp.o.d"
+  "bench/fig7_mpi_overhead"
+  "bench/fig7_mpi_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mpi_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

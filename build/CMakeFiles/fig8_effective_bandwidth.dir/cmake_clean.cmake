@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_effective_bandwidth.dir/bench/fig8_effective_bandwidth.cpp.o"
+  "CMakeFiles/fig8_effective_bandwidth.dir/bench/fig8_effective_bandwidth.cpp.o.d"
+  "bench/fig8_effective_bandwidth"
+  "bench/fig8_effective_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_effective_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

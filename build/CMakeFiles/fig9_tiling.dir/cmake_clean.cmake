@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tiling.dir/bench/fig9_tiling.cpp.o"
+  "CMakeFiles/fig9_tiling.dir/bench/fig9_tiling.cpp.o.d"
+  "bench/fig9_tiling"
+  "bench/fig9_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_host_kernels.dir/bench/gb_host_kernels.cpp.o"
+  "CMakeFiles/gb_host_kernels.dir/bench/gb_host_kernels.cpp.o.d"
+  "bench/gb_host_kernels"
+  "bench/gb_host_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_host_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/gb_host_stream.cpp" "CMakeFiles/gb_host_stream.dir/bench/gb_host_stream.cpp.o" "gcc" "CMakeFiles/gb_host_stream.dir/bench/gb_host_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/microbench/CMakeFiles/bwlab_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/bwlab_op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/bwlab_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

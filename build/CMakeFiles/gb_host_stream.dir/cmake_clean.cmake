@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_host_stream.dir/bench/gb_host_stream.cpp.o"
+  "CMakeFiles/gb_host_stream.dir/bench/gb_host_stream.cpp.o.d"
+  "bench/gb_host_stream"
+  "bench/gb_host_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_host_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_minibude_configs.dir/bench/tbl_minibude_configs.cpp.o"
+  "CMakeFiles/tbl_minibude_configs.dir/bench/tbl_minibude_configs.cpp.o.d"
+  "bench/tbl_minibude_configs"
+  "bench/tbl_minibude_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_minibude_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

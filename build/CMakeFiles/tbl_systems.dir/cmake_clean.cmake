@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_systems.dir/bench/tbl_systems.cpp.o"
+  "CMakeFiles/tbl_systems.dir/bench/tbl_systems.cpp.o.d"
+  "bench/tbl_systems"
+  "bench/tbl_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

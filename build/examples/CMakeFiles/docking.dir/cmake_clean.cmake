@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docking.dir/docking.cpp.o"
+  "CMakeFiles/docking.dir/docking.cpp.o.d"
+  "docking"
+  "docking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

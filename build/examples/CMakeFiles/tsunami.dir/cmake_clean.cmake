@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsunami.dir/tsunami.cpp.o"
+  "CMakeFiles/tsunami.dir/tsunami.cpp.o.d"
+  "tsunami"
+  "tsunami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsunami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/acoustic/acoustic.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/acoustic/acoustic.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/acoustic/acoustic.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf2d.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf2d.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf2d.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf3d.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf3d.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf3d.cpp.o.d"
+  "/root/repo/src/apps/mgcfd/mgcfd.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/mgcfd/mgcfd.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/mgcfd/mgcfd.cpp.o.d"
+  "/root/repo/src/apps/minibude/minibude.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/minibude/minibude.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/minibude/minibude.cpp.o.d"
+  "/root/repo/src/apps/miniweather/miniweather.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/miniweather/miniweather.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/miniweather/miniweather.cpp.o.d"
+  "/root/repo/src/apps/opensbli/opensbli.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/opensbli/opensbli.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/opensbli/opensbli.cpp.o.d"
+  "/root/repo/src/apps/volna/volna.cpp" "src/apps/CMakeFiles/bwlab_apps.dir/volna/volna.cpp.o" "gcc" "src/apps/CMakeFiles/bwlab_apps.dir/volna/volna.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/bwlab_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/bwlab_op2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

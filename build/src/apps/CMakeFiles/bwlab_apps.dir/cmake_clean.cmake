@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_apps.dir/acoustic/acoustic.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/acoustic/acoustic.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf2d.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf2d.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf3d.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/cloverleaf/cloverleaf3d.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/mgcfd/mgcfd.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/mgcfd/mgcfd.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/minibude/minibude.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/minibude/minibude.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/miniweather/miniweather.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/miniweather/miniweather.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/opensbli/opensbli.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/opensbli/opensbli.cpp.o.d"
+  "CMakeFiles/bwlab_apps.dir/volna/volna.cpp.o"
+  "CMakeFiles/bwlab_apps.dir/volna/volna.cpp.o.d"
+  "libbwlab_apps.a"
+  "libbwlab_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_common.dir/cli.cpp.o"
+  "CMakeFiles/bwlab_common.dir/cli.cpp.o.d"
+  "CMakeFiles/bwlab_common.dir/table.cpp.o"
+  "CMakeFiles/bwlab_common.dir/table.cpp.o.d"
+  "CMakeFiles/bwlab_common.dir/units.cpp.o"
+  "CMakeFiles/bwlab_common.dir/units.cpp.o.d"
+  "libbwlab_common.a"
+  "libbwlab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_registry.cpp" "src/core/CMakeFiles/bwlab_core.dir/app_registry.cpp.o" "gcc" "src/core/CMakeFiles/bwlab_core.dir/app_registry.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/bwlab_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/bwlab_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/bwlab_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/bwlab_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/bwlab_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/bwlab_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/bwlab_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/bwlab_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/bwlab_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/bwlab_core.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bwlab_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/bwlab_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/bwlab_op2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

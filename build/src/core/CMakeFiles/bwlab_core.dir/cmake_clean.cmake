@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_core.dir/app_registry.cpp.o"
+  "CMakeFiles/bwlab_core.dir/app_registry.cpp.o.d"
+  "CMakeFiles/bwlab_core.dir/config.cpp.o"
+  "CMakeFiles/bwlab_core.dir/config.cpp.o.d"
+  "CMakeFiles/bwlab_core.dir/perf_model.cpp.o"
+  "CMakeFiles/bwlab_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/bwlab_core.dir/profile.cpp.o"
+  "CMakeFiles/bwlab_core.dir/profile.cpp.o.d"
+  "CMakeFiles/bwlab_core.dir/report.cpp.o"
+  "CMakeFiles/bwlab_core.dir/report.cpp.o.d"
+  "CMakeFiles/bwlab_core.dir/tuning.cpp.o"
+  "CMakeFiles/bwlab_core.dir/tuning.cpp.o.d"
+  "libbwlab_core.a"
+  "libbwlab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microbench/babelstream.cpp" "src/microbench/CMakeFiles/bwlab_micro.dir/babelstream.cpp.o" "gcc" "src/microbench/CMakeFiles/bwlab_micro.dir/babelstream.cpp.o.d"
+  "/root/repo/src/microbench/c2c_latency.cpp" "src/microbench/CMakeFiles/bwlab_micro.dir/c2c_latency.cpp.o" "gcc" "src/microbench/CMakeFiles/bwlab_micro.dir/c2c_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_micro.dir/babelstream.cpp.o"
+  "CMakeFiles/bwlab_micro.dir/babelstream.cpp.o.d"
+  "CMakeFiles/bwlab_micro.dir/c2c_latency.cpp.o"
+  "CMakeFiles/bwlab_micro.dir/c2c_latency.cpp.o.d"
+  "libbwlab_micro.a"
+  "libbwlab_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2/color.cpp" "src/op2/CMakeFiles/bwlab_op2.dir/color.cpp.o" "gcc" "src/op2/CMakeFiles/bwlab_op2.dir/color.cpp.o.d"
+  "/root/repo/src/op2/dist.cpp" "src/op2/CMakeFiles/bwlab_op2.dir/dist.cpp.o" "gcc" "src/op2/CMakeFiles/bwlab_op2.dir/dist.cpp.o.d"
+  "/root/repo/src/op2/meshgen.cpp" "src/op2/CMakeFiles/bwlab_op2.dir/meshgen.cpp.o" "gcc" "src/op2/CMakeFiles/bwlab_op2.dir/meshgen.cpp.o.d"
+  "/root/repo/src/op2/partition.cpp" "src/op2/CMakeFiles/bwlab_op2.dir/partition.cpp.o" "gcc" "src/op2/CMakeFiles/bwlab_op2.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

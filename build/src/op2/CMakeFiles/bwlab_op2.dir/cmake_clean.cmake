@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_op2.dir/color.cpp.o"
+  "CMakeFiles/bwlab_op2.dir/color.cpp.o.d"
+  "CMakeFiles/bwlab_op2.dir/dist.cpp.o"
+  "CMakeFiles/bwlab_op2.dir/dist.cpp.o.d"
+  "CMakeFiles/bwlab_op2.dir/meshgen.cpp.o"
+  "CMakeFiles/bwlab_op2.dir/meshgen.cpp.o.d"
+  "CMakeFiles/bwlab_op2.dir/partition.cpp.o"
+  "CMakeFiles/bwlab_op2.dir/partition.cpp.o.d"
+  "libbwlab_op2.a"
+  "libbwlab_op2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

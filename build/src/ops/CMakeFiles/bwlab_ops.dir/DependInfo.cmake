@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/chain.cpp" "src/ops/CMakeFiles/bwlab_ops.dir/chain.cpp.o" "gcc" "src/ops/CMakeFiles/bwlab_ops.dir/chain.cpp.o.d"
+  "/root/repo/src/ops/context.cpp" "src/ops/CMakeFiles/bwlab_ops.dir/context.cpp.o" "gcc" "src/ops/CMakeFiles/bwlab_ops.dir/context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_ops.dir/chain.cpp.o"
+  "CMakeFiles/bwlab_ops.dir/chain.cpp.o.d"
+  "CMakeFiles/bwlab_ops.dir/context.cpp.o"
+  "CMakeFiles/bwlab_ops.dir/context.cpp.o.d"
+  "libbwlab_ops.a"
+  "libbwlab_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

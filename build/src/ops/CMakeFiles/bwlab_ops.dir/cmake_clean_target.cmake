@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwlab_ops.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_par.dir/partition.cpp.o"
+  "CMakeFiles/bwlab_par.dir/partition.cpp.o.d"
+  "CMakeFiles/bwlab_par.dir/simmpi.cpp.o"
+  "CMakeFiles/bwlab_par.dir/simmpi.cpp.o.d"
+  "CMakeFiles/bwlab_par.dir/thread_pool.cpp.o"
+  "CMakeFiles/bwlab_par.dir/thread_pool.cpp.o.d"
+  "libbwlab_par.a"
+  "libbwlab_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

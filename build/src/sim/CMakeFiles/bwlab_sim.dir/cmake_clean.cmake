@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwlab_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/bwlab_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/bwlab_sim.dir/comm.cpp.o"
+  "CMakeFiles/bwlab_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/bwlab_sim.dir/machine.cpp.o"
+  "CMakeFiles/bwlab_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/bwlab_sim.dir/topology.cpp.o"
+  "CMakeFiles/bwlab_sim.dir/topology.cpp.o.d"
+  "libbwlab_sim.a"
+  "libbwlab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwlab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_structured.dir/test_apps_structured.cpp.o"
+  "CMakeFiles/test_apps_structured.dir/test_apps_structured.cpp.o.d"
+  "test_apps_structured"
+  "test_apps_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

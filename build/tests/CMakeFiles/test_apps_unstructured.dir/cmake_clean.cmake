@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_unstructured.dir/test_apps_unstructured.cpp.o"
+  "CMakeFiles/test_apps_unstructured.dir/test_apps_unstructured.cpp.o.d"
+  "test_apps_unstructured"
+  "test_apps_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2.dir/test_op2.cpp.o"
+  "CMakeFiles/test_op2.dir/test_op2.cpp.o.d"
+  "test_op2"
+  "test_op2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

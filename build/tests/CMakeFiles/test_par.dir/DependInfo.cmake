@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_par.cpp" "tests/CMakeFiles/test_par.dir/test_par.cpp.o" "gcc" "tests/CMakeFiles/test_par.dir/test_par.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bwlab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bwlab_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/bwlab_op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/bwlab_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/bwlab_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwlab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/bwlab_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwlab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
