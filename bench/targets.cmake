@@ -38,3 +38,12 @@ foreach(b gb_host_stream gb_host_kernels)
   set_target_properties(${b} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
+
+# Self-checking microbenchmark (custom main, exits non-zero on failure):
+# asserts the disabled bwtrace fast path stays under its 5 ns budget.
+add_executable(gb_trace_overhead ${CMAKE_SOURCE_DIR}/bench/gb_trace_overhead.cpp)
+target_include_directories(gb_trace_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_trace_overhead
+  PRIVATE bwlab_common bwlab_warnings)
+set_target_properties(gb_trace_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -12,10 +12,13 @@
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "common/units.hpp"
 #include "core/perf_model.hpp"
 #include "core/profile.hpp"
+#include "core/report.hpp"
 #include "ops/par_loop.hpp"
 
 using namespace bwlab;
@@ -77,6 +80,8 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const idx_t n = cli.get_int("n", 256);
   const int steps = static_cast<int>(cli.get_int("steps", 100));
+  const ObservabilityFlags obs = observability_flags(cli);
+  if (!obs.trace_path.empty()) trace::enable();
 
   std::cout << "bwlab quickstart: " << n << "x" << n << " heat diffusion, "
             << steps << " steps\n\n";
@@ -93,6 +98,15 @@ int main(int argc, char** argv) {
             << "\naverage temperature (4 threads)   = " << threaded.average
             << "\naverage temperature (4 MPI ranks) = " << distributed.average
             << "\n\n";
+
+  // Observability artifacts (--trace/--metrics/--report, see README).
+  trace::disable();
+  if (!obs.trace_path.empty()) trace::write_chrome_json_file(obs.trace_path);
+  if (!obs.metrics_path.empty())
+    MetricsRegistry::global().write_json_file(obs.metrics_path);
+  if (!obs.report_path.empty())
+    core::write_run_report_json_file(obs.report_path, serial.instr,
+                                     &MetricsRegistry::global());
 
   // 2. Profile extraction: scale the measured kernel up to a 7680^2 run.
   core::AppProfile prof =

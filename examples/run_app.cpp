@@ -1,0 +1,124 @@
+// run_app: the observability harness. Runs any of the proxy applications
+// with chosen size / ranks / threads / execution mode and writes the
+// bwtrace artifacts:
+//
+//   --trace=FILE    Chrome trace-event JSON (open in Perfetto or
+//                   chrome://tracing): kernel, halo, tile, and comm spans
+//                   on one track per SimMPI rank and ThreadPool worker.
+//   --metrics=FILE  MetricsRegistry JSON (counters / gauges / histograms).
+//   --report=FILE   machine-readable run summary (per-loop records,
+//                   exchanges, Figure 8 effective bandwidths).
+//
+// Examples:
+//   ./build/examples/run_app --app=clover2d --n=64 --iters=3 --ranks=2
+//       --threads=2 --trace=clover2d.trace.json --report=clover2d.json
+//   ./build/examples/run_app --app=clover2d --tiled --n=24 --iters=2
+//       --trace=tiled.trace.json
+#include <iostream>
+#include <string>
+
+#include "apps/acoustic/acoustic.hpp"
+#include "apps/cloverleaf/cloverleaf2d.hpp"
+#include "apps/cloverleaf/cloverleaf3d.hpp"
+#include "apps/mgcfd/mgcfd.hpp"
+#include "apps/minibude/minibude.hpp"
+#include "apps/miniweather/miniweather.hpp"
+#include "apps/opensbli/opensbli.hpp"
+#include "apps/volna/volna.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/report.hpp"
+
+using namespace bwlab;
+
+namespace {
+
+constexpr const char* kApps =
+    "clover2d clover3d acoustic miniweather opensbli_sa opensbli_sn "
+    "mgcfd volna minibude";
+
+apps::Result dispatch(const std::string& app, const apps::Options& opt) {
+  if (app == "clover2d") return apps::clover2d::run(opt);
+  if (app == "clover3d") return apps::clover3d::run(opt);
+  if (app == "acoustic") return apps::acoustic::run(opt);
+  if (app == "miniweather") return apps::miniweather::run(opt);
+  if (app == "opensbli_sa")
+    return apps::opensbli::run(opt, apps::opensbli::Variant::StoreAll);
+  if (app == "opensbli_sn")
+    return apps::opensbli::run(opt, apps::opensbli::Variant::StoreNone);
+  if (app == "mgcfd") return apps::mgcfd::run(opt);
+  if (app == "volna") return apps::volna::run(opt);
+  if (app == "minibude") return apps::minibude::run(opt);
+  BWLAB_REQUIRE(false, "unknown --app '" << app << "'; one of: " << kApps);
+  return {};  // unreachable
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::cout << "usage: " << cli.program() << " --app=NAME [options]\n"
+              << "  apps: " << kApps << "\n"
+              << "  --n=N --iters=I --ranks=R --threads=T --tiled\n"
+              << "  --tile-size=S --mode=0|1|2 --scenario=K --seed=S\n"
+              << "  --trace=FILE --metrics=FILE --report=FILE --summary\n";
+    return 0;
+  }
+  const std::string app = cli.get("app", "clover2d");
+  apps::Options opt;
+  opt.n = cli.get_int("n", 32);
+  opt.iterations = static_cast<int>(cli.get_int("iters", 3));
+  opt.ranks = static_cast<int>(cli.get_int("ranks", 1));
+  opt.threads = static_cast<int>(cli.get_int("threads", 1));
+  opt.tiled = cli.get_bool("tiled", false);
+  opt.tile_size = cli.get_int("tile-size", 0);
+  opt.exec_mode = static_cast<int>(cli.get_int("mode", 0));
+  opt.scenario = static_cast<int>(cli.get_int("scenario", 0));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
+
+  const ObservabilityFlags obs = observability_flags(cli);
+  if (!obs.trace_path.empty()) trace::enable();
+
+  const apps::Result result = dispatch(app, opt);
+
+  trace::disable();  // all rank/worker threads have joined inside run()
+  if (!obs.trace_path.empty()) {
+    trace::write_chrome_json_file(obs.trace_path);
+    std::cout << "trace written to " << obs.trace_path;
+    if (trace::dropped_events() > 0)
+      std::cout << " (" << trace::dropped_events() << " events dropped)";
+    std::cout << "\n";
+  }
+  if (!obs.metrics_path.empty()) {
+    MetricsRegistry::global().write_json_file(obs.metrics_path);
+    std::cout << "metrics written to " << obs.metrics_path << "\n";
+  }
+  if (!obs.report_path.empty()) {
+    core::write_run_report_json_file(obs.report_path, result.instr,
+                                     &MetricsRegistry::global());
+    std::cout << "report written to " << obs.report_path << "\n";
+  }
+
+  std::cout << app << ": n=" << opt.n << " iters=" << opt.iterations
+            << " ranks=" << opt.ranks << " threads=" << opt.threads
+            << (opt.tiled ? " tiled" : "") << "\n"
+            << "checksum = " << result.checksum
+            << ", elapsed = " << result.elapsed << " s, rank-0 blocked = "
+            << result.comm_seconds << " s\n";
+  for (std::size_t r = 0; r < result.rank_stats.size(); ++r) {
+    const par::RankStats& st = result.rank_stats[r];
+    std::cout << "  rank " << r << ": blocked " << st.comm_seconds << " s, "
+              << st.messages_sent << " msgs, " << st.payload_bytes_sent
+              << " payload bytes\n";
+  }
+  if (cli.get_bool("summary", false)) {
+    std::cout << "\n";
+    core::top_loops_table(result.instr).print(std::cout);
+    std::cout << "\n";
+    core::effective_bw_table(result.instr).print(std::cout);
+  }
+  return 0;
+}

@@ -7,9 +7,11 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/instrument.hpp"
 #include "common/types.hpp"
+#include "par/simmpi.hpp"
 
 namespace bwlab::apps {
 
@@ -35,6 +37,9 @@ struct Result {
   Instrumentation instr;
   seconds_t elapsed = 0;
   seconds_t comm_seconds = 0;  ///< rank-0 blocked time in SimMPI
+  /// Per-rank communication stats from run_ranks (empty for ranks == 1):
+  /// blocked seconds, messages and payload bytes sent (Figure 7 inputs).
+  std::vector<par::RankStats> rank_stats;
 
   double metric(const std::string& key) const {
     const auto it = metrics.find(key);

@@ -394,7 +394,8 @@ Result run(const Options& opt) {
     }
   };
   if (opt.ranks > 1)
-    par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
+    result.rank_stats =
+        par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
   else
     run_rank(nullptr);
   return result;

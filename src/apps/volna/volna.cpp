@@ -276,7 +276,7 @@ Result run_distributed(const Options& opt, real hump, op2::Mode mode,
       gmesh.lx / std::sqrt(static_cast<double>(gmesh.ncells) / 2.0);
   const double h_char = dq / (2.0 * std::sqrt(2.0));
 
-  par::run_ranks(opt.ranks, [&](par::Comm& comm) {
+  result.rank_stats = par::run_ranks(opt.ranks, [&](par::Comm& comm) {
     const op2::RankLocal& rl =
         plan.rank[static_cast<std::size_t>(comm.rank())];
     op2::Runtime rt(opt.threads);

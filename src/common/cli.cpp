@@ -68,4 +68,18 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   return fallback;  // unreachable
 }
 
+ObservabilityFlags observability_flags(const Cli& cli) {
+  ObservabilityFlags f;
+  f.trace_path = cli.get("trace", "");
+  f.metrics_path = cli.get("metrics", "");
+  f.report_path = cli.get("report", "");
+  BWLAB_REQUIRE(!cli.has("trace") || !f.trace_path.empty(),
+                "--trace requires a file path (--trace=FILE)");
+  BWLAB_REQUIRE(!cli.has("metrics") || !f.metrics_path.empty(),
+                "--metrics requires a file path (--metrics=FILE)");
+  BWLAB_REQUIRE(!cli.has("report") || !f.report_path.empty(),
+                "--report requires a file path (--report=FILE)");
+  return f;
+}
+
 }  // namespace bwlab

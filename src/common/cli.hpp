@@ -41,4 +41,21 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// Output destinations of the bwtrace observability layer, shared by every
+/// executable that accepts `--trace` / `--metrics` / `--report`. Empty
+/// path means "don't write".
+struct ObservabilityFlags {
+  std::string trace_path;    ///< Chrome trace-event JSON (--trace=FILE)
+  std::string metrics_path;  ///< MetricsRegistry JSON (--metrics=FILE)
+  std::string report_path;   ///< run-summary JSON (--report=FILE)
+
+  bool any() const {
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !report_path.empty();
+  }
+};
+
+/// Parses the shared observability flags from an already-constructed Cli.
+ObservabilityFlags observability_flags(const Cli& cli);
+
 }  // namespace bwlab

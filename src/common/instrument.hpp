@@ -65,7 +65,10 @@ class Instrumentation {
 
   ExchangeRecord& exchange(const std::string& dat_name) {
     auto [it, inserted] = exchanges_.try_emplace(dat_name);
-    if (inserted) it->second.dat_name = dat_name;
+    if (inserted) {
+      it->second.dat_name = dat_name;
+      ex_order_.push_back(dat_name);
+    }
     return it->second;
   }
 
@@ -77,10 +80,13 @@ class Instrumentation {
     return out;
   }
 
+  /// Exchanges in first-touch order (mirrors loops_in_order), so reports
+  /// list dats in the order the application first exchanged them rather
+  /// than alphabetically.
   std::vector<const ExchangeRecord*> exchanges() const {
     std::vector<const ExchangeRecord*> out;
-    out.reserve(exchanges_.size());
-    for (const auto& [_, r] : exchanges_) out.push_back(&r);
+    out.reserve(ex_order_.size());
+    for (const std::string& n : ex_order_) out.push_back(&exchanges_.at(n));
     return out;
   }
 
@@ -94,12 +100,14 @@ class Instrumentation {
     loops_.clear();
     exchanges_.clear();
     order_.clear();
+    ex_order_.clear();
   }
 
  private:
   std::map<std::string, LoopRecord> loops_;
   std::map<std::string, ExchangeRecord> exchanges_;
   std::vector<std::string> order_;
+  std::vector<std::string> ex_order_;
 };
 
 }  // namespace bwlab

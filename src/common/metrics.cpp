@@ -1,0 +1,107 @@
+#include "common/metrics.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace bwlab {
+
+namespace {
+
+/// Minimal JSON string escaping for metric names.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << '_';
+    else
+      os << c;
+  }
+}
+
+template <class Map, class Fn>
+void write_section(std::ostream& os, const char* key, const Map& m, Fn emit,
+                   bool last = false) {
+  os << "  \"" << key << "\": {";
+  bool first = true;
+  for (const auto& [name, inst] : m) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    first = false;
+    write_escaped(os, name);
+    os << "\": ";
+    emit(*inst);
+  }
+  os << (first ? "}" : "\n  }") << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return *it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n";
+  write_section(os, "counters", counters_,
+                [&os](const Counter& c) { os << c.value(); });
+  write_section(os, "gauges", gauges_,
+                [&os](const Gauge& g) { os << g.value(); });
+  write_section(
+      os, "histograms", histograms_,
+      [&os](const Histogram& h) {
+        os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+           << ", \"buckets\": {";
+        bool first = true;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          const count_t n = h.bucket(i);
+          if (n == 0) continue;
+          os << (first ? "" : ", ") << "\"le_"
+             << Histogram::bucket_upper_bound(i) << "\": " << n;
+          first = false;
+        }
+        os << "}}";
+      },
+      /*last=*/true);
+  os << "}\n";
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  BWLAB_REQUIRE(os.good(), "cannot open metrics output file '" << path << "'");
+  write_json(os);
+  BWLAB_REQUIRE(os.good(), "failed writing metrics to '" << path << "'");
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: outlives threads
+  return *r;
+}
+
+}  // namespace bwlab

@@ -1,0 +1,137 @@
+// MetricsRegistry: named monotonic counters, gauges and log2-bucket
+// histograms with JSON export — the aggregate side of bwtrace (spans live
+// in common/trace.hpp). The runtime feeds it halo bytes/messages, comm
+// blocked seconds, tiles executed and loop invocations; apps and benches
+// can add their own series.
+//
+// Instruments are registered on first use and NEVER removed, so hot paths
+// can hoist the lookup once and keep the reference:
+//
+//   static Counter& msgs = MetricsRegistry::global().counter("comm.messages");
+//   msgs.inc();
+//
+// All mutation methods are thread-safe (relaxed atomics); reset() zeroes
+// values but keeps every registered instrument alive.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bwlab {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(count_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  count_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<count_t> v_{0};
+};
+
+/// Last-written (set) or accumulated (add) double value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two bucket histogram over positive values. Bucket i counts
+/// observations with 2^(i-kZeroBucket-1) < x <= 2^(i-kZeroBucket); values
+/// <= 0 (or denormal-small) land in bucket 0. The span [2^-32, 2^31]
+/// covers nanoseconds-as-seconds through multi-GiB byte counts.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kZeroBucket = 32;
+
+  void observe(double x) {
+    buckets_[static_cast<std::size_t>(bucket_index(x))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  static int bucket_index(double x) {
+    if (!(x > 0)) return 0;
+    int e = std::ilogb(x);
+    if (e >= kBuckets) return kBuckets - 1;  // also guards inf (ilogb huge)
+    if (std::ldexp(1.0, e) != x) ++e;  // not an exact power: round up
+    const int i = e + kZeroBucket;
+    return i < 0 ? 0 : (i >= kBuckets ? kBuckets - 1 : i);
+  }
+  /// Inclusive upper bound of bucket i.
+  static double bucket_upper_bound(int i) {
+    return std::ldexp(1.0, i - kZeroBucket);
+  }
+
+  count_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  count_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<count_t>, kBuckets> buckets_{};
+  std::atomic<count_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime (instruments are never erased).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with names in
+  /// lexicographic order; histogram buckets emitted sparsely.
+  void write_json(std::ostream& os) const;
+  /// write_json to `path`; throws bwlab::Error if unwritable.
+  void write_json_file(const std::string& path) const;
+
+  /// Zeroes every instrument, keeping registrations (and hoisted
+  /// references) valid.
+  void reset();
+
+  /// Process-wide registry used by the runtime instrumentation.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bwlab

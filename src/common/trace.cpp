@@ -1,0 +1,267 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bwlab::trace {
+
+namespace {
+
+constexpr std::size_t kNameCap = 48;  // truncation bound, keeps events POD
+
+enum class Ph : std::uint8_t { Begin, End, Counter };
+
+struct Event {
+  std::uint64_t ts_ns = 0;
+  double value = 0;  // counters only
+  Ph ph = Ph::Begin;
+  Cat cat = Cat::Kernel;
+  char name[kNameCap] = {};
+};
+
+/// One thread's event log plus its track identity. Buffers are owned by
+/// the global registry and outlive their threads, so serialization after
+/// run_ranks joins still sees every rank's events.
+struct ThreadBuffer {
+  int rank = 0;
+  int tid = 0;
+  std::string label;
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::size_t> capacity{std::size_t{1} << 20};
+  std::atomic<std::uint64_t> epoch_ns{0};
+};
+
+Registry& reg() {
+  static Registry* r = new Registry;  // leaked: threads may outlive main
+  return *r;
+}
+
+thread_local ThreadBuffer* tls_buf = nullptr;
+thread_local int tls_rank = 0;
+thread_local int tls_tid = 0;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void copy_name(Event& e, std::string_view a, std::string_view b) {
+  std::size_t n = std::min(a.size(), kNameCap - 1);
+  std::copy_n(a.data(), n, e.name);
+  const std::size_t m = std::min(b.size(), kNameCap - 1 - n);
+  std::copy_n(b.data(), m, e.name + n);
+  e.name[n + m] = '\0';
+}
+
+ThreadBuffer& buf() {
+  if (tls_buf != nullptr) return *tls_buf;
+  auto b = std::make_unique<ThreadBuffer>();
+  b->rank = tls_rank;
+  b->tid = tls_tid;
+  b->label = "rank " + std::to_string(tls_rank) +
+             (tls_tid == 0 ? std::string(" main")
+                           : " worker " + std::to_string(tls_tid));
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  tls_buf = b.get();
+  r.buffers.push_back(std::move(b));
+  return *tls_buf;
+}
+
+void push(Ph ph, Cat cat, std::string_view a, std::string_view b,
+          double value) {
+  ThreadBuffer& tb = buf();
+  if (tb.events.size() >= reg().capacity.load(std::memory_order_relaxed)) {
+    ++tb.dropped;
+    return;
+  }
+  Event e;
+  e.ph = ph;
+  e.cat = cat;
+  e.value = value;
+  copy_name(e, a, b);
+  e.ts_ns = now_ns();
+  tb.events.push_back(e);
+}
+
+/// Escapes the few JSON-hostile characters a span name could contain.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << '_';
+    else
+      os << c;
+  }
+}
+
+void write_event_line(std::ostream& os, const ThreadBuffer& tb,
+                      const Event& e, std::uint64_t epoch, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  const double ts_us =
+      static_cast<double>(e.ts_ns - std::min(epoch, e.ts_ns)) / 1000.0;
+  char ts[48];
+  std::snprintf(ts, sizeof ts, "%.3f", ts_us);
+  switch (e.ph) {
+    case Ph::Begin:
+      os << R"({"ph":"B","pid":)" << tb.rank << R"(,"tid":)" << tb.tid
+         << R"(,"ts":)" << ts << R"(,"cat":")" << to_string(e.cat)
+         << R"(","name":")";
+      write_escaped(os, e.name);
+      os << R"("})";
+      break;
+    case Ph::End:
+      os << R"({"ph":"E","pid":)" << tb.rank << R"(,"tid":)" << tb.tid
+         << R"(,"ts":)" << ts << "}";
+      break;
+    case Ph::Counter:
+      os << R"({"ph":"C","pid":)" << tb.rank << R"(,"tid":)" << tb.tid
+         << R"(,"ts":)" << ts << R"(,"name":")";
+      write_escaped(os, e.name);
+      os << R"(","args":{"value":)" << e.value << "}}";
+      break;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Cat c) {
+  switch (c) {
+    case Cat::Kernel: return "kernel";
+    case Cat::Halo: return "halo";
+    case Cat::Comm: return "comm";
+    case Cat::Tile: return "tile";
+    case Cat::Region: return "region";
+    case Cat::App: return "app";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void begin_span(Cat c, std::string_view name, std::string_view suffix) {
+  push(Ph::Begin, c, name, suffix, 0.0);
+}
+
+void end_span() { push(Ph::End, Cat::Kernel, {}, {}, 0.0); }
+
+}  // namespace detail
+
+void enable(std::size_t max_events_per_thread) {
+  Registry& r = reg();
+  r.capacity.store(std::max<std::size_t>(max_events_per_thread, 16),
+                   std::memory_order_relaxed);
+  std::uint64_t expected = 0;
+  r.epoch_ns.compare_exchange_strong(expected, now_ns());
+  detail::g_on.store(true, std::memory_order_relaxed);
+}
+
+void disable() { detail::g_on.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) {
+    b->events.clear();
+    b->dropped = 0;
+  }
+  r.epoch_ns.store(now_ns(), std::memory_order_relaxed);
+}
+
+void set_thread_track(int rank, int tid, std::string label) {
+  tls_rank = rank;
+  tls_tid = tid;
+  if (tls_buf != nullptr) {
+    tls_buf->rank = rank;
+    tls_buf->tid = tid;
+    tls_buf->label = std::move(label);
+    return;
+  }
+  // Buffer not created yet: materialize it now so the label sticks.
+  ThreadBuffer& tb = buf();
+  tb.label = std::move(label);
+}
+
+int current_rank() { return tls_rank; }
+
+void counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  push(Ph::Counter, Cat::App, name, {}, value);
+}
+
+std::uint64_t dropped_events() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t n = 0;
+  for (const auto& b : r.buffers) n += b->dropped;
+  return n;
+}
+
+void write_chrome_json(std::ostream& os) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const std::uint64_t epoch = r.epoch_ns.load(std::memory_order_relaxed);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& b : r.buffers) {
+    if (b->events.empty()) continue;  // dead or untouched track
+    // Track metadata: process = rank, thread = team member.
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":"M","pid":)" << b->rank << R"(,"tid":)" << b->tid
+       << R"(,"name":"process_name","args":{"name":"rank )" << b->rank
+       << R"("}})";
+    os << ",\n"
+       << R"({"ph":"M","pid":)" << b->rank << R"(,"tid":)" << b->tid
+       << R"(,"name":"thread_name","args":{"name":")";
+    write_escaped(os, b->label.c_str());
+    os << " (dropped " << b->dropped << ")\"}}";
+    // Events, with unmatched begins closed at the final timestamp so the
+    // emitted stream always has balanced B/E pairs.
+    int depth = 0;
+    std::uint64_t last_ts = epoch;
+    for (const Event& e : b->events) {
+      if (e.ph == Ph::End) {
+        if (depth == 0) continue;  // unmatched end: drop
+        --depth;
+      } else if (e.ph == Ph::Begin) {
+        ++depth;
+      }
+      last_ts = std::max(last_ts, e.ts_ns);
+      write_event_line(os, *b, e, epoch, first);
+    }
+    Event closer;
+    closer.ph = Ph::End;
+    closer.ts_ns = last_ts;
+    for (; depth > 0; --depth) write_event_line(os, *b, closer, epoch, first);
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_json_file(const std::string& path) {
+  std::ofstream os(path);
+  BWLAB_REQUIRE(os.good(), "cannot open trace output file '" << path << "'");
+  write_chrome_json(os);
+  BWLAB_REQUIRE(os.good(), "failed writing trace to '" << path << "'");
+}
+
+}  // namespace bwlab::trace

@@ -1,0 +1,116 @@
+// bwtrace: per-thread span tracing with Chrome trace-event JSON export.
+//
+// The paper's methodology is measurement — Figure 7's MPI_Wait overhead,
+// Figure 8's per-loop effective bandwidth, Figure 9's tiling gains — and
+// this is the timeline counterpart of the post-hoc aggregates in
+// common/instrument.hpp: every kernel, halo exchange, tile and
+// communication primitive can record a span onto a per-thread ring
+// buffer, serialized as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) with one track per SimMPI rank (pid) and one per
+// ThreadPool worker (tid).
+//
+// The tracer is compiled in but runtime-disabled by default. The disabled
+// fast path is a single relaxed atomic load plus one branch (asserted
+// < 5 ns by bench/gb_trace_overhead); enabling costs one buffered event
+// per span endpoint, no locks on the hot path.
+//
+// Usage:
+//   trace::enable();
+//   { trace::TraceSpan s(trace::Cat::Kernel, "ideal_gas"); ... }
+//   trace::disable();                       // stop recording
+//   trace::write_chrome_json_file("run.trace.json");
+//
+// Serialization must not race with recording: call write_chrome_json /
+// reset only after disable() once the traced threads have joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace bwlab::trace {
+
+/// Span/counter category, serialized as the Chrome "cat" field.
+enum class Cat : std::uint8_t {
+  Kernel,  ///< par_loop kernel execution
+  Halo,    ///< halo exchange of one dat (or a chain's deep exchange)
+  Comm,    ///< SimMPI primitive (send/recv/wait/allreduce/barrier)
+  Tile,    ///< one tile of the cache-blocking executor
+  Region,  ///< coarse region (thread-pool parallel region, chain run)
+  App,     ///< application-defined phases
+};
+
+const char* to_string(Cat c);
+
+namespace detail {
+inline std::atomic<bool> g_on{false};
+void begin_span(Cat c, std::string_view name, std::string_view suffix);
+void end_span();
+}  // namespace detail
+
+/// Single-branch fast path checked by every instrumentation site.
+inline bool enabled() {
+  return detail::g_on.load(std::memory_order_relaxed);
+}
+
+/// Starts recording. `max_events_per_thread` bounds each thread's buffer;
+/// events past the cap are dropped (newest-first) and counted.
+void enable(std::size_t max_events_per_thread = std::size_t{1} << 20);
+
+/// Stops recording; buffered events are kept for serialization.
+void disable();
+
+/// Clears all buffered events and resets the trace clock epoch. Thread
+/// buffers (and the tracks they belong to) survive so long-lived threads
+/// keep recording after a reset.
+void reset();
+
+/// Declares the calling thread's track: Chrome pid = SimMPI rank, tid =
+/// thread-team member index. Called by run_ranks for rank threads and by
+/// ThreadPool workers; the main thread defaults to rank 0 / tid 0.
+void set_thread_track(int rank, int tid, std::string label);
+
+/// Rank of the calling thread's track (used by ThreadPool to attribute
+/// its workers to the rank that created the pool).
+int current_rank();
+
+/// Records a named counter sample ('C' event) on the caller's rank track.
+void counter(std::string_view name, double value);
+
+/// Events dropped across all threads since the last reset().
+std::uint64_t dropped_events();
+
+/// Serializes all buffered events as Chrome trace-event JSON, one event
+/// per line. Unmatched begin events (buffer overflow, still-open spans)
+/// are closed at the thread's last timestamp so B/E pairs always balance.
+void write_chrome_json(std::ostream& os);
+
+/// write_chrome_json to `path`; throws bwlab::Error if unwritable.
+void write_chrome_json_file(const std::string& path);
+
+/// RAII span: records a begin event on construction and an end event on
+/// destruction when tracing is enabled; a no-op otherwise. The name is
+/// `name` + `suffix`, truncated to the event's fixed-size name buffer —
+/// pass the dynamic part as `suffix` to avoid building strings on the
+/// disabled path.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Cat c, std::string_view name,
+                     std::string_view suffix = {}) {
+    if (!enabled()) return;
+    active_ = true;
+    detail::begin_span(c, name, suffix);
+  }
+  ~TraceSpan() {
+    if (active_) detail::end_span();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace bwlab::trace

@@ -1,9 +1,13 @@
 #include "core/report.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <numeric>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/pattern.hpp"
 
 namespace bwlab::core {
 
@@ -41,6 +45,100 @@ SlowdownSummary summarize_slowdowns(
   for (const auto& row : normalized)
     all.insert(all.end(), row.begin(), row.end());
   return {mean(all), median(all)};
+}
+
+namespace {
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << '_';
+    else
+      os << c;
+  }
+}
+
+}  // namespace
+
+Table top_loops_table(const Instrumentation& instr, std::size_t top_n) {
+  std::vector<const LoopRecord*> loops = instr.loops_in_order();
+  std::stable_sort(loops.begin(), loops.end(),
+                   [](const LoopRecord* a, const LoopRecord* b) {
+                     return a->host_seconds > b->host_seconds;
+                   });
+  if (loops.size() > top_n) loops.resize(top_n);
+
+  Table t("Top loops by host time");
+  t.set_columns({{"loop", 0},
+                 {"calls", 0},
+                 {"seconds", 4},
+                 {"GB moved", 3},
+                 {"GB/s", 2},
+                 {"pattern", 0}});
+  for (const LoopRecord* l : loops)
+    t.add_row({l->name, static_cast<double>(l->calls), l->host_seconds,
+               static_cast<double>(l->bytes) / 1e9, l->effective_bw() / 1e9,
+               std::string(to_string(l->pattern))});
+  return t;
+}
+
+Table effective_bw_table(const Instrumentation& instr) {
+  Table t("Effective bandwidth per loop (Figure 8 convention)");
+  t.set_columns({{"loop", 0},
+                 {"bytes/point", 1},
+                 {"flops/point", 1},
+                 {"GB/s", 2}});
+  for (const LoopRecord* l : instr.loops_in_order())
+    t.add_row({l->name, l->bytes_per_point(), l->flops_per_point(),
+               l->effective_bw() / 1e9});
+  return t;
+}
+
+void write_run_report_json(std::ostream& os, const Instrumentation& instr,
+                           const MetricsRegistry* metrics) {
+  os << "{\n  \"loops\": [";
+  bool first = true;
+  for (const LoopRecord* l : instr.loops_in_order()) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"";
+    first = false;
+    write_json_escaped(os, l->name);
+    os << "\", \"calls\": " << l->calls << ", \"points\": " << l->points
+       << ", \"bytes\": " << l->bytes << ", \"flops\": " << l->flops
+       << ", \"host_seconds\": " << l->host_seconds
+       << ", \"effective_bw_gbs\": " << l->effective_bw() / 1e9
+       << ", \"pattern\": \"" << to_string(l->pattern)
+       << "\", \"max_radius\": " << l->max_radius
+       << ", \"ndims\": " << l->ndims << "}";
+  }
+  os << (first ? "]" : "\n  ]") << ",\n  \"exchanges\": [";
+  first = true;
+  for (const ExchangeRecord* e : instr.exchanges()) {
+    os << (first ? "\n" : ",\n") << "    {\"dat\": \"";
+    first = false;
+    write_json_escaped(os, e->dat_name);
+    os << "\", \"exchanges\": " << e->exchanges
+       << ", \"messages\": " << e->messages << ", \"bytes\": " << e->bytes
+       << ", \"halo_depth\": " << e->halo_depth
+       << ", \"elem_bytes\": " << e->elem_bytes << "}";
+  }
+  os << (first ? "]" : "\n  ]") << ",\n  \"total_loop_seconds\": "
+     << instr.total_loop_seconds();
+  if (metrics != nullptr) {
+    os << ",\n  \"metrics\": ";
+    metrics->write_json(os);
+  }
+  os << "\n}\n";
+}
+
+void write_run_report_json_file(const std::string& path,
+                                const Instrumentation& instr,
+                                const MetricsRegistry* metrics) {
+  std::ofstream os(path);
+  BWLAB_REQUIRE(os.good(), "cannot open report output file '" << path << "'");
+  write_run_report_json(os, instr, metrics);
+  BWLAB_REQUIRE(os.good(), "failed writing report to '" << path << "'");
 }
 
 }  // namespace bwlab::core

@@ -1,12 +1,20 @@
 // Small report helpers shared by the figure generators: normalization to
 // the per-application best (Figures 3/4 are slowdown heatmaps), row
-// ordering by average, and speedup tables.
+// ordering by average, speedup tables, and the bwtrace run-summary report
+// (top-N loops, Figure 8 effective-bandwidth table, JSON export).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/instrument.hpp"
 #include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace bwlab {
+class MetricsRegistry;
+}
 
 namespace bwlab::core {
 
@@ -28,5 +36,25 @@ struct SlowdownSummary {
 };
 SlowdownSummary summarize_slowdowns(
     const std::vector<std::vector<double>>& normalized);
+
+// --- Run-summary reporting (bwtrace) ----------------------------------------
+
+/// The `top_n` loops by host time: calls, seconds, useful GB moved, and
+/// effective bandwidth. Rows are ordered descending by host_seconds.
+Table top_loops_table(const Instrumentation& instr, std::size_t top_n = 10);
+
+/// Per-loop effective bandwidth in the Figure 8 convention (useful bytes /
+/// kernel host seconds, comm excluded), in first-execution order.
+Table effective_bw_table(const Instrumentation& instr);
+
+/// Machine-readable run report: every loop record, every exchange record,
+/// total loop seconds, and (if given) a snapshot of `metrics`.
+void write_run_report_json(std::ostream& os, const Instrumentation& instr,
+                           const MetricsRegistry* metrics = nullptr);
+
+/// write_run_report_json to `path`; throws bwlab::Error if unwritable.
+void write_run_report_json_file(const std::string& path,
+                                const Instrumentation& instr,
+                                const MetricsRegistry* metrics = nullptr);
 
 }  // namespace bwlab::core

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "op2/color.hpp"
 #include "op2/set.hpp"
 #include "par/thread_pool.hpp"
@@ -345,6 +347,7 @@ void par_loop_colored(Runtime& rt, const LoopMeta& meta, const Set& set,
                       const Coloring& coloring, Kernel&& kernel,
                       Args... args) {
   Timer t;
+  trace::TraceSpan span(trace::Cat::Kernel, meta.name);
   par::ThreadPool* pool = rt.pool();
   for (const auto& elements : coloring.by_color) {
     const idx_t n = static_cast<idx_t>(elements.size());
@@ -399,6 +402,7 @@ void par_loop(Runtime& rt, const LoopMeta& meta, const Set& set, Mode mode,
   }
 
   Timer t;
+  trace::TraceSpan span(trace::Cat::Kernel, meta.name);
   auto bound = std::make_tuple(detail::bind(args)...);
   const idx_t n = set.size();
   if (mode == Mode::Serial) {
@@ -435,6 +439,12 @@ void record(Runtime& rt, const LoopMeta& meta, const Set& set,
   rec.pattern = any_inc ? Pattern::GatherScatter
                         : (any_ind ? Pattern::Indirect : Pattern::Streaming);
   (void)colored;
+  static Counter& invocations =
+      MetricsRegistry::global().counter("op2.loop_invocations");
+  static Histogram& seconds =
+      MetricsRegistry::global().histogram("op2.kernel_seconds");
+  invocations.inc();
+  seconds.observe(elapsed);
 }
 
 }  // namespace bwlab::op2

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "ops/dat.hpp"
 
 namespace bwlab::ops {
@@ -23,6 +25,7 @@ int ChainQueue::min_halo_depth_read() const {
 }
 
 void ChainQueue::exchange_chain_inputs() {
+  trace::TraceSpan span(trace::Cat::Halo, "chain.exchange");
   // One deep exchange per dat read anywhere in the chain; exchanging a
   // dat twice is a no-op because the dirty flag clears.
   std::set<const void*> done;
@@ -81,13 +84,17 @@ Range ChainQueue::extended_local_range(
 void ChainQueue::execute_untiled() {
   BWLAB_REQUIRE(!ctx_->lazy(),
                 "disable lazy mode before executing the captured chain");
+  trace::TraceSpan chain_span(trace::Cat::Region, "chain.untiled");
   for (ChainLoop& l : loops_) {
     for (const ChainDatUse& u : l.uses)
       if (u.is_read && u.read_radius > 0) u.exchange();
     const Range local =
         extended_local_range(l, 0, {false, false, false});
     Timer t;
-    if (!local.empty()) l.body(local);
+    {
+      trace::TraceSpan span(trace::Cat::Kernel, l.name);
+      if (!local.empty()) l.body(local);
+    }
     ctx_->instr().loop(l.name).host_seconds += t.elapsed();
     for (const ChainDatUse& u : l.uses)
       if (u.is_written) u.mark_dirty();
@@ -99,6 +106,7 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
   BWLAB_REQUIRE(!ctx_->lazy(),
                 "disable lazy mode before executing the captured chain");
   if (loops_.empty()) return;
+  trace::TraceSpan chain_span(trace::Cat::Region, "chain.tiled");
   const int n = static_cast<int>(loops_.size());
 
   // Skew offsets: sigma_i = sum of read radii of loops AFTER i. Loop i is
@@ -145,8 +153,13 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
   }
   if (tile_outer <= 0) tile_outer = std::max<idx_t>(8, (axis_hi - axis_lo) / 8);
 
+  static Counter& tiles =
+      MetricsRegistry::global().counter("ops.tiles_executed");
   for (idx_t b0 = axis_lo; b0 < axis_hi; b0 += tile_outer) {
     const idx_t b1 = std::min(axis_hi, b0 + tile_outer);
+    trace::TraceSpan tile_span(trace::Cat::Tile, "tile");
+    trace::counter("tile.start_row", static_cast<double>(b0));
+    tiles.inc();
     for (int i = 0; i < n; ++i) {
       ChainLoop& l = loops_[static_cast<std::size_t>(i)];
       Range r = ext[static_cast<std::size_t>(i)];
@@ -156,7 +169,10 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
       r.hi[od] = std::min(r.hi[od], b1 + s);
       if (r.empty()) continue;
       Timer t;
-      l.body(r);
+      {
+        trace::TraceSpan span(trace::Cat::Kernel, l.name);
+        l.body(r);
+      }
       ctx_->instr().loop(l.name).host_seconds += t.elapsed();
       // Physical-boundary ghosts of freshly-written dats must track the
       // interior inside the chain (reads in the next loops of this tile

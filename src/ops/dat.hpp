@@ -15,6 +15,8 @@
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "ops/access.hpp"
 #include "ops/context.hpp"
@@ -165,6 +167,10 @@ class Dat {
   /// clears the dirty flag. No-op if halos are clean or depth is 0.
   void exchange_halos() {
     if (!dirty_ || depth_ == 0) return;
+    trace::TraceSpan span(trace::Cat::Halo, "halo:", name_);
+    static Counter& exchanges =
+        MetricsRegistry::global().counter("halo.exchanges");
+    exchanges.inc();
     for (int d = 0; d < block_->ndims(); ++d) exchange_dim(d);
     dirty_ = false;
   }
@@ -331,6 +337,10 @@ class Dat {
       comm->send(nb, tag, buf.data(), buf.size() * sizeof(T));
       ++rec.messages;
       rec.bytes += buf.size() * sizeof(T);
+      static Counter& msgs = MetricsRegistry::global().counter("halo.messages");
+      static Counter& bytes = MetricsRegistry::global().counter("halo.bytes");
+      msgs.inc();
+      bytes.inc(buf.size() * sizeof(T));
     };
     auto recv_from = [&](int nb, const Box& rbox, const Box& self_src,
                          int tag) {

@@ -17,7 +17,9 @@
 #include <tuple>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "ops/chain.hpp"
 #include "ops/dat.hpp"
 
@@ -378,8 +380,20 @@ void par_loop(const LoopMeta& meta, Block& b, const Range& range,
   }
 
   Timer t;
-  execute_over(local);
-  rec.host_seconds += t.elapsed();
+  {
+    trace::TraceSpan span(trace::Cat::Kernel, meta.name);
+    execute_over(local);
+  }
+  const seconds_t elapsed = t.elapsed();
+  rec.host_seconds += elapsed;
+  {
+    static Counter& invocations =
+        MetricsRegistry::global().counter("ops.loop_invocations");
+    static Histogram& seconds =
+        MetricsRegistry::global().histogram("ops.kernel_seconds");
+    invocations.inc();
+    seconds.observe(elapsed);
+  }
 
   // 5. Cross-rank reduction is the caller's choice (apps call
   //    comm->allreduce on the target); loop-local merge already happened.
@@ -418,6 +432,7 @@ void par_loop_blocked(const LoopMeta& meta, Block& b, const Range& range,
   rec.ndims = b.ndims();
 
   Timer t;
+  trace::TraceSpan span(trace::Cat::Kernel, meta.name);
   if (!local.empty()) {
     auto bound = std::make_tuple(detail::bind(args)...);
     for (idx_t bk = local.lo[2]; bk < local.hi[2]; bk += wg[2])

@@ -10,9 +10,24 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace bwlab::par {
+
+namespace {
+
+/// Feeds a just-measured blocked interval into the global metrics. The
+/// per-rank total stays in Comm::comm_seconds_; this is the cross-rank
+/// aggregate view.
+void record_blocked(seconds_t s) {
+  static Gauge& blocked =
+      MetricsRegistry::global().gauge("comm.blocked_seconds");
+  blocked.add(s);
+}
+
+}  // namespace
 
 namespace {
 struct Message {
@@ -171,11 +186,24 @@ class World {
 int Comm::size() const { return world_->size(); }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  trace::TraceSpan span(trace::Cat::Comm, "send");
   world_->deliver(rank_, dest, tag, data, bytes);
+  ++msgs_sent_;
+  bytes_sent_ += bytes;
+  static Counter& msgs = MetricsRegistry::global().counter("comm.messages");
+  static Counter& sent = MetricsRegistry::global().counter("comm.bytes");
+  static Histogram& sizes =
+      MetricsRegistry::global().histogram("comm.message_bytes");
+  msgs.inc();
+  sent.inc(bytes);
+  sizes.observe(static_cast<double>(bytes));
 }
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
-  comm_seconds_ += world_->collect(src, rank_, tag, data, bytes);
+  trace::TraceSpan span(trace::Cat::Comm, "recv");
+  const seconds_t blocked = world_->collect(src, rank_, tag, data, bytes);
+  comm_seconds_ += blocked;
+  record_blocked(blocked);
 }
 
 Comm::Request Comm::isend(int dest, int tag, const void* data,
@@ -201,6 +229,7 @@ Comm::Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
 
 void Comm::wait(Request& r) {
   if (r.done) return;
+  trace::TraceSpan span(trace::Cat::Comm, "wait");
   if (r.is_recv) recv(r.peer, r.tag, r.data, r.bytes);
   r.done = true;
 }
@@ -209,10 +238,18 @@ void Comm::wait_all(std::vector<Request>& rs) {
   for (Request& r : rs) wait(r);
 }
 
-void Comm::barrier() { comm_seconds_ += world_->barrier(); }
+void Comm::barrier() {
+  trace::TraceSpan span(trace::Cat::Comm, "barrier");
+  const seconds_t blocked = world_->barrier();
+  comm_seconds_ += blocked;
+  record_blocked(blocked);
+}
 
 void Comm::allreduce(double* vals, int n, ReduceOp op) {
-  comm_seconds_ += world_->allreduce(vals, n, op);
+  trace::TraceSpan span(trace::Cat::Comm, "allreduce");
+  const seconds_t blocked = world_->allreduce(vals, n, op);
+  comm_seconds_ += blocked;
+  record_blocked(blocked);
 }
 
 double Comm::allreduce_sum(double v) {
@@ -236,6 +273,9 @@ std::vector<RankStats> run_ranks(int nranks,
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   auto body = [&](int r) {
+    // Attribute this thread (and any ThreadPool it creates) to its rank's
+    // trace track; Chrome pid = rank, tid 0 = the rank's main thread.
+    trace::set_thread_track(r, 0, "rank " + std::to_string(r) + " main");
     Comm comm(world, r);
     try {
       fn(comm);
@@ -243,7 +283,10 @@ std::vector<RankStats> run_ranks(int nranks,
       errors[static_cast<std::size_t>(r)] = std::current_exception();
       world.abort_all();
     }
-    stats[static_cast<std::size_t>(r)].comm_seconds = comm.comm_seconds();
+    RankStats& st = stats[static_cast<std::size_t>(r)];
+    st.comm_seconds = comm.comm_seconds();
+    st.messages_sent = comm.messages_sent();
+    st.payload_bytes_sent = comm.payload_bytes_sent();
   };
 
   std::vector<std::thread> threads;

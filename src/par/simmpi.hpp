@@ -60,6 +60,11 @@ class Comm {
   /// collectives so far (the MPI_Wait analogue).
   seconds_t comm_seconds() const { return comm_seconds_; }
 
+  /// Point-to-point messages sent by this rank (send + isend).
+  count_t messages_sent() const { return msgs_sent_; }
+  /// Payload bytes sent by this rank (send + isend).
+  count_t payload_bytes_sent() const { return bytes_sent_; }
+
   /// Internal: constructed by run_ranks for each rank.
   Comm(World& world, int rank) : world_(&world), rank_(rank) {}
 
@@ -68,11 +73,15 @@ class Comm {
   World* world_;
   int rank_;
   seconds_t comm_seconds_ = 0.0;
+  count_t msgs_sent_ = 0;
+  count_t bytes_sent_ = 0;
 };
 
 /// Outcome of one rank's execution.
 struct RankStats {
-  seconds_t comm_seconds = 0.0;
+  seconds_t comm_seconds = 0.0;  ///< blocked in recv/wait/collectives
+  count_t messages_sent = 0;     ///< point-to-point messages (send + isend)
+  count_t payload_bytes_sent = 0;  ///< payload bytes (send + isend)
 };
 
 /// Runs `fn(comm)` on `nranks` ranks (threads) and joins them. Any

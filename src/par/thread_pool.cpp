@@ -1,8 +1,13 @@
 #include "par/thread_pool.hpp"
 
+#include <string>
+
+#include "common/trace.hpp"
+
 namespace bwlab::par {
 
-ThreadPool::ThreadPool(int threads) : threads_(threads) {
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads), trace_rank_(trace::current_rank()) {
   BWLAB_REQUIRE(threads >= 1, "thread pool needs >= 1 thread, got " << threads);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int t = 1; t < threads; ++t)
@@ -19,6 +24,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
+  trace::TraceSpan span(trace::Cat::Region, "pool.run");
   if (threads_ == 1) {
     fn(0);
     return;
@@ -37,6 +43,11 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
 }
 
 void ThreadPool::worker_loop(int tid) {
+  // Workers belong to the rank that created the pool: same Chrome pid,
+  // tid = team member index (0 is the rank's own thread).
+  trace::set_thread_track(trace_rank_, tid,
+                          "rank " + std::to_string(trace_rank_) + " worker " +
+                              std::to_string(tid));
   count_t seen = 0;
   for (;;) {
     const std::function<void(int)>* task = nullptr;
@@ -48,7 +59,12 @@ void ThreadPool::worker_loop(int tid) {
       seen = generation_;
       task = task_;
     }
-    (*task)(tid);
+    {
+      // Recorded on the worker's own track: shows worker occupancy per
+      // parallel region in the trace.
+      trace::TraceSpan span(trace::Cat::Region, "pool.task");
+      (*task)(tid);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) cv_done_.notify_one();

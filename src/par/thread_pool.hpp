@@ -84,6 +84,7 @@ class ThreadPool {
   void worker_loop(int tid);
 
   int threads_;
+  int trace_rank_;  ///< rank track of the creating thread (bwtrace)
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

@@ -7,6 +7,7 @@
 #include "common/aligned.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/instrument.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -174,6 +175,29 @@ TEST(Rng, RoughlyUniformMean) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) sum += rng.next_double();
   EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Instrumentation, ExchangesReturnFirstTouchOrder) {
+  // Records must come back in the order dats were first exchanged, not in
+  // std::map key order (mirrors loops_in_order).
+  Instrumentation instr;
+  instr.exchange("zeta").messages = 1;
+  instr.exchange("alpha").messages = 2;
+  instr.exchange("mid").messages = 3;
+  instr.exchange("zeta").messages = 4;  // revisit must not reorder
+
+  const auto ex = instr.exchanges();
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_EQ(ex[0]->dat_name, "zeta");
+  EXPECT_EQ(ex[1]->dat_name, "alpha");
+  EXPECT_EQ(ex[2]->dat_name, "mid");
+  EXPECT_EQ(ex[0]->messages, 4u);
+
+  instr.clear();
+  EXPECT_TRUE(instr.exchanges().empty());
+  instr.exchange("beta");
+  ASSERT_EQ(instr.exchanges().size(), 1u);
+  EXPECT_EQ(instr.exchanges()[0]->dat_name, "beta");
 }
 
 }  // namespace
