@@ -47,3 +47,13 @@ target_link_libraries(gb_trace_overhead
   PRIVATE bwlab_common bwlab_warnings)
 set_target_properties(gb_trace_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Same idea for bwfault: the inactive injection hooks must stay at one
+# relaxed atomic load, and an installed-but-inert plan must not slow the
+# send/recv path measurably.
+add_executable(gb_fault_overhead ${CMAKE_SOURCE_DIR}/bench/gb_fault_overhead.cpp)
+target_include_directories(gb_fault_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_fault_overhead
+  PRIVATE bwlab_par bwlab_common bwlab_warnings)
+set_target_properties(gb_fault_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -14,6 +14,15 @@
 //       --threads=2 --trace=clover2d.trace.json --report=clover2d.json
 //   ./build/examples/run_app --app=clover2d --tiled --n=24 --iters=2
 //       --trace=tiled.trace.json
+//
+// Robustness (bwfault):
+//   --faults=SPEC        deterministic fault plan, e.g.
+//                        "drop:rank=1,msg=3;crash:rank=2,step=4" (seeded
+//                        by --seed; see src/common/fault.hpp)
+//   --watchdog-ms=G      deadlock watchdog grace period (0 disables)
+//   --checkpoint-every=K checkpoint fields every K steps, restart after
+//                        an injected rank crash (CloverLeaf 2D)
+//   --nan-guard=0|1|2    post-loop NaN/Inf guard: off / report / abort
 #include <iostream>
 #include <string>
 
@@ -27,8 +36,10 @@
 #include "apps/volna/volna.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "core/config.hpp"
 #include "core/report.hpp"
 
 using namespace bwlab;
@@ -64,7 +75,9 @@ int main(int argc, char** argv) {
               << "  apps: " << kApps << "\n"
               << "  --n=N --iters=I --ranks=R --threads=T --tiled\n"
               << "  --tile-size=S --mode=0|1|2 --scenario=K --seed=S\n"
-              << "  --trace=FILE --metrics=FILE --report=FILE --summary\n";
+              << "  --trace=FILE --metrics=FILE --report=FILE --summary\n"
+              << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
+              << "  --max-restarts=R --nan-guard=0|1|2\n";
     return 0;
   }
   const std::string app = cli.get("app", "clover2d");
@@ -79,10 +92,28 @@ int main(int argc, char** argv) {
   opt.scenario = static_cast<int>(cli.get_int("scenario", 0));
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
 
+  const core::Robustness rob = core::robustness_from_cli(cli);
+  rob.apply(opt);
+  rob.install();
+
   const ObservabilityFlags obs = observability_flags(cli);
   if (!obs.trace_path.empty()) trace::enable();
 
-  const apps::Result result = dispatch(app, opt);
+  apps::Result result;
+  try {
+    result = dispatch(app, opt);
+  } catch (const Error& e) {
+    // A diagnosed failure (watchdog deadlock dump, aggregated rank
+    // errors, NaN-guard abort). Flush the trace first — the timeline up
+    // to the failure is exactly what one wants to look at.
+    trace::disable();
+    if (!obs.trace_path.empty()) {
+      trace::write_chrome_json_file(obs.trace_path);
+      std::cerr << "trace written to " << obs.trace_path << "\n";
+    }
+    std::cerr << "run failed: " << e.what() << "\n";
+    return 1;
+  }
 
   trace::disable();  // all rank/worker threads have joined inside run()
   if (!obs.trace_path.empty()) {
@@ -113,6 +144,22 @@ int main(int argc, char** argv) {
     std::cout << "  rank " << r << ": blocked " << st.comm_seconds << " s, "
               << st.messages_sent << " msgs, " << st.payload_bytes_sent
               << " payload bytes\n";
+  }
+  if (!rob.faults.empty()) {
+    const std::vector<fault::Event> events = fault::events();
+    std::cout << "faults fired: " << events.size() << "\n";
+    for (const fault::Event& e : events) {
+      std::cout << "  " << fault::to_string(e.kind) << " rank=" << e.rank;
+      if (e.kind == fault::Kind::Crash)
+        std::cout << " step=" << e.step;
+      else
+        std::cout << " msg=" << e.msg_index << " dest=" << e.peer
+                  << " tag=" << e.tag;
+      std::cout << "\n";
+    }
+    if (result.metric("restarts") > 0)
+      std::cout << "recovered via checkpoint/restart: "
+                << result.metric("restarts") << " restart(s)\n";
   }
   if (cli.get_bool("summary", false)) {
     std::cout << "\n";

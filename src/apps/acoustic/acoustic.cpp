@@ -102,6 +102,7 @@ struct Solver {
 }  // namespace
 
 Result run(const Options& opt) {
+  apply_robustness(opt);
   Result result;
   const double courant = 0.3;  // well inside the 8th-order stability bound
   auto run_rank = [&](par::Comm* comm) {
@@ -129,6 +130,7 @@ Result run(const Options& opt) {
 
     Timer timer;
     for (int it = 0; it < opt.iterations; ++it) {
+      fault::on_step(comm ? comm->rank() : 0, it);
       s.step();
       // The source term has decayed to ~0 by t=10; the kernel still runs
       // (it is part of the app's per-step launch profile) without
@@ -149,7 +151,7 @@ Result run(const Options& opt) {
   };
   if (opt.ranks > 1)
     result.rank_stats =
-        par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
+        run_distributed(opt, [&](par::Comm& c) { run_rank(&c); });
   else
     run_rank(nullptr);
   return result;

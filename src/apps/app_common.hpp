@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/instrument.hpp"
 #include "common/types.hpp"
 #include "par/simmpi.hpp"
@@ -25,7 +26,40 @@ struct Options {
   int exec_mode = 0;    ///< unstructured apps: 0 serial, 1 vec, 2 colored
   int scenario = 0;     ///< app-specific test scenario (0 = default)
   std::uint64_t seed = 12345;  ///< synthetic input seed
+
+  // --- Robustness (bwfault) --------------------------------------------------
+  /// Progress-watchdog grace period for distributed runs; <= 0 disables.
+  double watchdog_ms = 1000.0;
+  /// Checkpoint the field state every K steps (0 = off). Enables the
+  /// crash-recovery supervisor in apps that support restart (CloverLeaf
+  /// 2D); an injected rank crash then restarts from the last checkpoint.
+  int checkpoint_every = 0;
+  /// Restart attempts after recoverable (injected-crash) failures.
+  int max_restarts = 2;
+  /// Post-loop NaN/Inf field guard: 0 off, 1 report, 2 abort.
+  int nan_guard = 0;
 };
+
+/// Applies process-global robustness knobs (currently the NaN/Inf field
+/// guard policy). Called at the top of every app's run().
+inline void apply_robustness(const Options& opt) {
+  fault::set_nan_policy(opt.nan_guard >= 2   ? fault::NanPolicy::Abort
+                        : opt.nan_guard == 1 ? fault::NanPolicy::Report
+                                             : fault::NanPolicy::Off);
+}
+
+/// par::RunOptions derived from the app options.
+inline par::RunOptions run_options(const Options& opt) {
+  par::RunOptions ro;
+  ro.watchdog_grace_ms = opt.watchdog_ms;
+  return ro;
+}
+
+/// Standard distributed launch: run_ranks with the app's watchdog grace.
+template <class Fn>
+std::vector<par::RankStats> run_distributed(const Options& opt, Fn&& fn) {
+  return par::run_ranks(opt.ranks, std::forward<Fn>(fn), run_options(opt));
+}
 
 struct Result {
   /// A scalar that any two correct runs must reproduce (used to compare

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "common/fault.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "ops/checkpoint.hpp"
 #include "ops/par_loop.hpp"
 
 namespace bwlab::apps::clover2d {
@@ -306,6 +309,14 @@ struct Solver {
         ops::write(yvel));
   }
 
+  /// Every evolving field, in a fixed order — the checkpoint unit.
+  std::array<ops::Dat<double>*, 15> fields() {
+    return {&density, &energy, &pressure, &soundspeed, &viscosity,
+            &xvel, &yvel, &xvel1, &yvel1,
+            &vol_flux_x, &vol_flux_y, &mass_flux_x, &mass_flux_y,
+            &ene_flux_x, &ene_flux_y};
+  }
+
   struct Summary {
     double mass = 0, ie = 0, ke = 0, vmax = 0, press = 0;
   };
@@ -376,8 +387,20 @@ struct Solver {
 }  // namespace
 
 Result run(const Options& opt) {
+  apply_robustness(opt);
   Result result;
+  // Per-rank checkpoint stores. They outlive the rank threads: after an
+  // injected crash the supervisor below relaunches run_ranks and each new
+  // rank restores its own store's last committed snapshot. Consistency
+  // across ranks is structural — every step ends in collective allreduces
+  // (calc_dt, field_summary), so no rank can commit checkpoint K before
+  // every rank finished step K-1.
+  std::vector<ops::CheckpointStore> stores(
+      static_cast<std::size_t>(opt.ranks > 0 ? opt.ranks : 1));
+
   auto run_rank = [&](par::Comm* comm) {
+    const int rank = comm ? comm->rank() : 0;
+    ops::CheckpointStore& store = stores[static_cast<std::size_t>(rank)];
     std::unique_ptr<ops::Context> ctx =
         comm ? std::make_unique<ops::Context>(*comm, opt.threads)
              : std::make_unique<ops::Context>(opt.threads);
@@ -385,13 +408,26 @@ Result run(const Options& opt) {
     const int depth = opt.tiled ? 16 : 2;
     Solver s(*ctx, opt.n, depth);
     s.initialize();
+    int start = 0;
+    if (store.valid()) {
+      trace::TraceSpan span(trace::Cat::Fault, "recovery:restore");
+      for (ops::Dat<double>* d : s.fields()) store.restore(*d);
+      start = static_cast<int>(store.step()) + 1;
+    }
     Timer timer;
     Solver::Summary sum;
-    for (int it = 0; it < opt.iterations; ++it) {
+    for (int it = start; it < opt.iterations; ++it) {
+      fault::on_step(rank, it);
       s.ideal_gas();  // EoS refresh for the dt estimate (lagged when tiled)
       const double dt = s.calc_dt();
       s.step(dt, opt.tiled, opt.tile_size);
       sum = s.field_summary();
+      if (opt.checkpoint_every > 0 &&
+          (it + 1) % opt.checkpoint_every == 0 && it + 1 < opt.iterations) {
+        store.begin(it);
+        for (ops::Dat<double>* d : s.fields()) store.capture(*d);
+        store.commit();
+      }
     }
     if (!comm || comm->rank() == 0) {
       result.elapsed = timer.elapsed();
@@ -404,12 +440,34 @@ Result run(const Options& opt) {
       if (comm) result.comm_seconds = comm->comm_seconds();
     }
   };
-  if (opt.ranks > 1) {
-    result.rank_stats =
-        par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
-  } else {
-    run_rank(nullptr);
+
+  // Crash-recovery supervisor: an injected rank crash (RankFailure) is
+  // recoverable when checkpointing is on and attempts remain; everything
+  // else propagates unchanged.
+  int restarts = 0;
+  for (;;) {
+    try {
+      if (opt.ranks > 1) {
+        result.rank_stats =
+            run_distributed(opt, [&](par::Comm& c) { run_rank(&c); });
+      } else {
+        run_rank(nullptr);
+      }
+      break;
+    } catch (const par::RankFailure&) {
+      if (opt.checkpoint_every <= 0 || restarts >= opt.max_restarts) throw;
+    } catch (const par::MultiRankError& e) {
+      if (!e.any_rank_failure() || opt.checkpoint_every <= 0 ||
+          restarts >= opt.max_restarts)
+        throw;
+    }
+    ++restarts;
+    trace::TraceSpan span(trace::Cat::Fault, "recovery:restart");
+    static Counter& counter =
+        MetricsRegistry::global().counter("recovery.restarts");
+    counter.inc();
   }
+  result.metrics["restarts"] = restarts;
   return result;
 }
 

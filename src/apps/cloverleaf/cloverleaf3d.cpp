@@ -368,6 +368,7 @@ struct Solver {
 }  // namespace
 
 Result run(const Options& opt) {
+  apply_robustness(opt);
   Result result;
   auto run_rank = [&](par::Comm* comm) {
     std::unique_ptr<ops::Context> ctx =
@@ -378,6 +379,7 @@ Result run(const Options& opt) {
     Timer timer;
     Solver::Summary sum;
     for (int it = 0; it < opt.iterations; ++it) {
+      fault::on_step(comm ? comm->rank() : 0, it);
       s.ideal_gas();
       const double dt = s.calc_dt();
       s.step(dt);
@@ -395,7 +397,7 @@ Result run(const Options& opt) {
   };
   if (opt.ranks > 1)
     result.rank_stats =
-        par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
+        run_distributed(opt, [&](par::Comm& c) { run_rank(&c); });
   else
     run_rank(nullptr);
   return result;

@@ -275,6 +275,7 @@ struct Solver {
 }  // namespace
 
 Result run(const Options& opt) {
+  apply_robustness(opt);
   Result result;
   const op2::Mode mode = opt.exec_mode == 1 ? op2::Mode::Vec
                          : opt.exec_mode == 2 ? op2::Mode::Colored
@@ -286,7 +287,10 @@ Result run(const Options& opt) {
   if (opt.scenario != 1) s.perturb();
   const Solver::Summary s0 = s.summary();
   Timer timer;
-  for (int it = 0; it < opt.iterations; ++it) s.cycle();
+  for (int it = 0; it < opt.iterations; ++it) {
+    fault::on_step(0, it);
+    s.cycle();
+  }
   result.elapsed = timer.elapsed();
   const Solver::Summary s1 = s.summary();
   result.metrics["mass"] = s1.mass;

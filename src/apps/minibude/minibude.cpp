@@ -180,6 +180,7 @@ void pose_energy_lanes(const Deck& deck, std::size_t pose0, std::size_t n,
 }  // namespace
 
 Result run(const Options& opt) {
+  apply_robustness(opt);
   Result result;
   Deck deck = make_deck(opt.n, opt.seed);
   const std::size_t nposes = deck.nposes();
@@ -188,6 +189,7 @@ Result run(const Options& opt) {
   par::ThreadPool pool(opt.threads);
   Timer timer;
   for (int it = 0; it < opt.iterations; ++it) {
+    fault::on_step(0, it);
     if (opt.exec_mode == 1) {
       const idx_t nchunks = ceil_div(static_cast<idx_t>(nposes), kPoseLanes);
       pool.parallel_for(0, nchunks, [&](idx_t chunk) {

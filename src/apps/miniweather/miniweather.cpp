@@ -298,6 +298,7 @@ struct Solver {
 }  // namespace
 
 Result run(const Options& opt) {
+  apply_robustness(opt);
   Result result;
   auto run_rank = [&](par::Comm* comm) {
     std::unique_ptr<ops::Context> ctx =
@@ -307,7 +308,10 @@ Result run(const Options& opt) {
     s.initialize();
     const Solver::Summary s0 = s.summary();
     Timer timer;
-    for (int it = 0; it < opt.iterations; ++it) s.step();
+    for (int it = 0; it < opt.iterations; ++it) {
+      fault::on_step(comm ? comm->rank() : 0, it);
+      s.step();
+    }
     const Solver::Summary s1 = s.summary();
     if (!comm || comm->rank() == 0) {
       result.elapsed = timer.elapsed();
@@ -323,7 +327,7 @@ Result run(const Options& opt) {
   };
   if (opt.ranks > 1)
     result.rank_stats =
-        par::run_ranks(opt.ranks, [&](par::Comm& c) { run_rank(&c); });
+        run_distributed(opt, [&](par::Comm& c) { run_rank(&c); });
   else
     run_rank(nullptr);
   return result;

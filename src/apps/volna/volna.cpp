@@ -276,7 +276,9 @@ Result run_distributed(const Options& opt, real hump, op2::Mode mode,
       gmesh.lx / std::sqrt(static_cast<double>(gmesh.ncells) / 2.0);
   const double h_char = dq / (2.0 * std::sqrt(2.0));
 
-  result.rank_stats = par::run_ranks(opt.ranks, [&](par::Comm& comm) {
+  result.rank_stats = par::run_ranks(
+      opt.ranks,
+      [&](par::Comm& comm) {
     const op2::RankLocal& rl =
         plan.rank[static_cast<std::size_t>(comm.rank())];
     op2::Runtime rt(opt.threads);
@@ -308,6 +310,7 @@ Result run_distributed(const Options& opt, real hump, op2::Mode mode,
     owned_summary(mass0, eta0, sp0);
     Timer timer;
     for (int it = 0; it < opt.iterations; ++it) {
+      fault::on_step(comm.rank(), it);
       op2::halo_gather(comm, rl, *s.U);
       const real dt = static_cast<real>(comm.allreduce_min(
           static_cast<double>(s.compute_dt())));
@@ -334,11 +337,13 @@ Result run_distributed(const Options& opt, real hump, op2::Mode mode,
       result.instr = rt.instr();
       result.comm_seconds = comm.comm_seconds();
     }
-  });
+      },
+      run_options(opt));
   return result;
 }
 
 Result run_impl(const Options& opt, real hump) {
+  apply_robustness(opt);
   Result result;
   const op2::Mode mode = opt.exec_mode == 1 ? op2::Mode::Vec
                          : opt.exec_mode == 2 ? op2::Mode::Colored
@@ -354,7 +359,10 @@ Result run_impl(const Options& opt, real hump) {
   s.init_state(hump);
   const Solver::Summary s0 = s.summary();
   Timer timer;
-  for (int it = 0; it < opt.iterations; ++it) s.step();
+  for (int it = 0; it < opt.iterations; ++it) {
+    fault::on_step(0, it);
+    s.step();
+  }
   result.elapsed = timer.elapsed();
   const Solver::Summary s1 = s.summary();
   result.metrics["mass"] = s1.mass;

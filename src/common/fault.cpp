@@ -1,0 +1,276 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+
+namespace bwlab::fault {
+
+namespace {
+
+/// Runtime state of one installed plan: the parsed entries plus per-entry
+/// one-shot flags and per-rank send counters. Guarded by g_mu except for
+/// the g_active fast-path flag.
+struct ActivePlan {
+  FaultPlan plan;
+  std::vector<std::uint64_t> flip_masks;  // per spec entry, nonzero
+  std::vector<bool> fired;                // one-shot disarm
+  std::vector<long long> sends_by_rank;   // per-rank send index
+  std::vector<Event> events;
+};
+
+std::mutex g_mu;
+ActivePlan* g_plan = nullptr;          // guarded by g_mu
+std::atomic<bool> g_active{false};     // hot-path guard
+std::atomic<int> g_nan_policy{0};      // NanPolicy
+
+long long parse_ll(const std::string& clause, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    BWLAB_REQUIRE(pos == value.size(), "trailing junk");
+    return v;
+  } catch (...) {
+    throw Error("fault spec: bad number '" + value + "' in clause '" +
+                clause + "'");
+  }
+}
+
+}  // namespace
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::Drop: return "drop";
+    case Kind::Delay: return "delay";
+    case Kind::Crash: return "crash";
+    case Kind::Flip: return "flip";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  std::stringstream ss(spec);
+  std::string clause;
+  while (std::getline(ss, clause, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    BWLAB_REQUIRE(colon != std::string::npos,
+                  "fault spec clause '" << clause << "' missing ':'");
+    const std::string kind = clause.substr(0, colon);
+    Spec s;
+    if (kind == "drop") s.kind = Kind::Drop;
+    else if (kind == "delay") s.kind = Kind::Delay;
+    else if (kind == "crash") s.kind = Kind::Crash;
+    else if (kind == "flip") s.kind = Kind::Flip;
+    else
+      throw Error("fault spec: unknown kind '" + kind + "' in clause '" +
+                  clause + "' (drop|delay|crash|flip)");
+    // Key=value pairs, ','-separated.
+    bool have_rank = false;
+    std::stringstream cs(clause.substr(colon + 1));
+    std::string kv;
+    while (std::getline(cs, kv, ',')) {
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      BWLAB_REQUIRE(eq != std::string::npos,
+                    "fault spec: '" << kv << "' is not key=value in clause '"
+                                    << clause << "'");
+      const std::string key = kv.substr(0, eq);
+      const long long val = parse_ll(clause, kv.substr(eq + 1));
+      if (key == "rank") {
+        BWLAB_REQUIRE(val >= 0, "fault spec: rank must be >= 0");
+        s.rank = static_cast<int>(val);
+        have_rank = true;
+      } else if (key == "msg") {
+        BWLAB_REQUIRE(s.kind != Kind::Crash,
+                      "fault spec: 'msg' is not valid for crash");
+        BWLAB_REQUIRE(val >= 0, "fault spec: msg must be >= 0");
+        s.msg = val;
+      } else if (key == "step") {
+        BWLAB_REQUIRE(s.kind == Kind::Crash,
+                      "fault spec: 'step' is only valid for crash");
+        BWLAB_REQUIRE(val >= 0, "fault spec: step must be >= 0");
+        s.step = val;
+      } else if (key == "us") {
+        BWLAB_REQUIRE(s.kind == Kind::Delay,
+                      "fault spec: 'us' is only valid for delay");
+        BWLAB_REQUIRE(val >= 0, "fault spec: us must be >= 0");
+        s.us = val;
+      } else if (key == "byte") {
+        BWLAB_REQUIRE(s.kind == Kind::Flip,
+                      "fault spec: 'byte' is only valid for flip");
+        BWLAB_REQUIRE(val >= 0, "fault spec: byte must be >= 0");
+        s.byte = val;
+      } else {
+        throw Error("fault spec: unknown key '" + key + "' in clause '" +
+                    clause + "'");
+      }
+    }
+    BWLAB_REQUIRE(have_rank,
+                  "fault spec clause '" << clause << "' missing rank=");
+    if (s.kind == Kind::Crash)
+      BWLAB_REQUIRE(s.step >= 0,
+                    "fault spec clause '" << clause << "' missing step=");
+    if ((s.kind == Kind::Drop || s.kind == Kind::Flip) && s.msg < 0)
+      s.msg = 0;  // default: the rank's first message
+    plan.specs_.push_back(s);
+  }
+  return plan;
+}
+
+std::string FaultPlan::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const Spec& s = specs_[i];
+    if (i > 0) os << ';';
+    os << to_string(s.kind) << ":rank=" << s.rank;
+    switch (s.kind) {
+      case Kind::Drop: os << ",msg=" << s.msg; break;
+      case Kind::Delay:
+        os << ",us=" << s.us;
+        if (s.msg >= 0) os << ",msg=" << s.msg;
+        break;
+      case Kind::Crash: os << ",step=" << s.step; break;
+      case Kind::Flip: os << ",byte=" << s.byte << ",msg=" << s.msg; break;
+    }
+  }
+  return os.str();
+}
+
+void install(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  delete g_plan;
+  g_plan = nullptr;
+  g_active.store(false, std::memory_order_release);
+  if (plan.empty()) return;
+  auto* ap = new ActivePlan;
+  ap->plan = plan;
+  ap->fired.assign(plan.specs().size(), false);
+  // One SplitMix64 stream per entry keyed on (seed, index): masks are a
+  // pure function of the plan, never of execution order.
+  ap->flip_masks.resize(plan.specs().size());
+  for (std::size_t i = 0; i < plan.specs().size(); ++i) {
+    SplitMix64 rng(plan.seed() ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    ap->flip_masks[i] = (rng.next_u64() & 0xFF) | 1;  // nonzero byte mask
+  }
+  g_plan = ap;
+  g_active.store(true, std::memory_order_release);
+}
+
+void clear() { install(FaultPlan()); }
+
+bool active() { return g_active.load(std::memory_order_relaxed); }
+
+MsgAction on_send(int rank, int dest, int tag, void* payload,
+                  std::size_t bytes) {
+  if (!active()) return MsgAction::Deliver;
+  long long delay_us = -1;
+  MsgAction action = MsgAction::Deliver;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_plan == nullptr) return MsgAction::Deliver;
+    ActivePlan& ap = *g_plan;
+    if (ap.sends_by_rank.size() <= static_cast<std::size_t>(rank))
+      ap.sends_by_rank.resize(static_cast<std::size_t>(rank) + 1, 0);
+    const long long idx = ap.sends_by_rank[static_cast<std::size_t>(rank)]++;
+    const auto& specs = ap.plan.specs();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const Spec& s = specs[i];
+      if (ap.fired[i] || s.rank != rank || s.kind == Kind::Crash) continue;
+      if (s.msg >= 0 && s.msg != idx) continue;
+      ap.fired[i] = true;
+      Event ev{s.kind, rank, dest, tag, idx, -1, 0};
+      switch (s.kind) {
+        case Kind::Drop:
+          action = MsgAction::Drop;
+          break;
+        case Kind::Delay:
+          delay_us = s.us;
+          ev.detail = static_cast<std::uint64_t>(s.us);
+          break;
+        case Kind::Flip:
+          if (bytes > 0) {
+            const std::size_t off =
+                static_cast<std::size_t>(s.byte) % bytes;
+            static_cast<unsigned char*>(payload)[off] ^=
+                static_cast<unsigned char>(ap.flip_masks[i]);
+            ev.detail = ap.flip_masks[i];
+          }
+          break;
+        case Kind::Crash:
+          break;  // unreachable
+      }
+      ap.events.push_back(ev);
+      static Counter& injected =
+          MetricsRegistry::global().counter("fault.injected");
+      injected.inc();
+      trace::TraceSpan span(trace::Cat::Fault, "fault:", to_string(s.kind));
+    }
+  }
+  // Sleep outside the lock so a delayed sender never stalls other ranks'
+  // injection bookkeeping.
+  if (delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  return action;
+}
+
+void on_step(int rank, long long step) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_plan == nullptr) return;
+  ActivePlan& ap = *g_plan;
+  const auto& specs = ap.plan.specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Spec& s = specs[i];
+    if (ap.fired[i] || s.kind != Kind::Crash || s.rank != rank ||
+        s.step != step)
+      continue;
+    ap.fired[i] = true;
+    ap.events.push_back(Event{Kind::Crash, rank, -1, -1, -1, step, 0});
+    static Counter& injected =
+        MetricsRegistry::global().counter("fault.injected");
+    injected.inc();
+    trace::TraceSpan span(trace::Cat::Fault, "fault:crash");
+    throw par::RankFailure(rank, step);
+  }
+}
+
+std::vector<Event> events() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_plan != nullptr ? g_plan->events : std::vector<Event>{};
+}
+
+void set_nan_policy(NanPolicy p) {
+  g_nan_policy.store(static_cast<int>(p), std::memory_order_relaxed);
+}
+
+NanPolicy nan_policy() {
+  return static_cast<NanPolicy>(
+      g_nan_policy.load(std::memory_order_relaxed));
+}
+
+void report_nonfinite(const std::string& loop, const std::string& dat,
+                      long long first_index, long long count) {
+  static Counter& fields =
+      MetricsRegistry::global().counter("guard.nonfinite_fields");
+  static Counter& values =
+      MetricsRegistry::global().counter("guard.nonfinite_values");
+  fields.inc();
+  values.inc(static_cast<count_t>(count));
+  trace::TraceSpan span(trace::Cat::Fault, "nan-guard:", dat);
+  if (nan_policy() == NanPolicy::Abort)
+    throw Error("nan-guard: loop '" + loop + "' wrote " +
+                std::to_string(count) + " non-finite value(s) into dat '" +
+                dat + "' (first at flat index " +
+                std::to_string(first_index) + ")");
+}
+
+}  // namespace bwlab::fault

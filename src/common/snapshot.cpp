@@ -1,0 +1,136 @@
+#include "common/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace bwlab::fault {
+
+namespace {
+constexpr char kMagic[8] = {'B', 'W', 'C', 'K', 'P', 'T', '1', '\n'};
+}
+
+void SnapshotStore::begin(long long step) {
+  staging_.clear();
+  staging_step_ = step;
+  in_txn_ = true;
+}
+
+void SnapshotStore::capture_raw(const std::string& name, const void* data,
+                                std::size_t bytes, std::size_t elem_bytes) {
+  BWLAB_REQUIRE(in_txn_, "checkpoint capture of '" << name
+                                                   << "' outside begin()");
+  Field f;
+  f.name = name;
+  f.elem_bytes = elem_bytes;
+  f.bytes.resize(bytes);
+  std::memcpy(f.bytes.data(), data, bytes);
+  staging_.push_back(std::move(f));
+}
+
+void SnapshotStore::commit() {
+  BWLAB_REQUIRE(in_txn_, "checkpoint commit without begin()");
+  trace::TraceSpan span(trace::Cat::Fault, "checkpoint:commit");
+  fields_ = std::move(staging_);
+  staging_.clear();
+  step_ = staging_step_;
+  valid_ = true;
+  in_txn_ = false;
+  static Counter& commits =
+      MetricsRegistry::global().counter("checkpoint.commits");
+  commits.inc();
+}
+
+const SnapshotStore::Field* SnapshotStore::find(
+    const std::string& name) const {
+  for (const Field& f : fields_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+void SnapshotStore::restore_raw(const std::string& name, void* data,
+                                std::size_t bytes,
+                                std::size_t elem_bytes) const {
+  BWLAB_REQUIRE(valid_, "restore of '" << name
+                                       << "' from an empty checkpoint store");
+  const Field* f = find(name);
+  BWLAB_REQUIRE(f != nullptr,
+                "checkpoint has no field '" << name << "'");
+  BWLAB_REQUIRE(f->bytes.size() == bytes && f->elem_bytes == elem_bytes,
+                "checkpoint field '"
+                    << name << "' shape changed: stored "
+                    << f->bytes.size() << " B (elem " << f->elem_bytes
+                    << "), restoring " << bytes << " B (elem " << elem_bytes
+                    << ")");
+  trace::TraceSpan span(trace::Cat::Fault, "checkpoint:restore:", name);
+  std::memcpy(data, f->bytes.data(), bytes);
+  static Counter& restores =
+      MetricsRegistry::global().counter("checkpoint.restores");
+  restores.inc();
+}
+
+void SnapshotStore::reset() {
+  fields_.clear();
+  staging_.clear();
+  step_ = -1;
+  staging_step_ = -1;
+  valid_ = false;
+  in_txn_ = false;
+}
+
+void SnapshotStore::write_file(const std::string& path) const {
+  BWLAB_REQUIRE(valid_, "write_file on an empty checkpoint store");
+  std::ofstream os(path, std::ios::binary);
+  BWLAB_REQUIRE(os.good(), "cannot open checkpoint file '" << path << "'");
+  auto put_u64 = [&os](std::uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  os.write(kMagic, sizeof kMagic);
+  put_u64(static_cast<std::uint64_t>(step_));
+  put_u64(fields_.size());
+  for (const Field& f : fields_) {
+    put_u64(f.name.size());
+    os.write(f.name.data(), static_cast<std::streamsize>(f.name.size()));
+    put_u64(f.elem_bytes);
+    put_u64(f.bytes.size());
+    os.write(f.bytes.data(), static_cast<std::streamsize>(f.bytes.size()));
+  }
+  BWLAB_REQUIRE(os.good(), "failed writing checkpoint to '" << path << "'");
+}
+
+void SnapshotStore::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BWLAB_REQUIRE(is.good(), "cannot open checkpoint file '" << path << "'");
+  auto get_u64 = [&is]() {
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+  };
+  char magic[sizeof kMagic];
+  is.read(magic, sizeof magic);
+  BWLAB_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "'" << path << "' is not a bwfault checkpoint file");
+  std::vector<Field> fields;
+  const long long step = static_cast<long long>(get_u64());
+  const std::uint64_t n = get_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Field f;
+    f.name.resize(get_u64());
+    is.read(f.name.data(), static_cast<std::streamsize>(f.name.size()));
+    f.elem_bytes = get_u64();
+    f.bytes.resize(get_u64());
+    is.read(f.bytes.data(), static_cast<std::streamsize>(f.bytes.size()));
+    BWLAB_REQUIRE(is.good(), "truncated checkpoint file '" << path << "'");
+    fields.push_back(std::move(f));
+  }
+  fields_ = std::move(fields);
+  step_ = step;
+  valid_ = true;
+  in_txn_ = false;
+  staging_.clear();
+}
+
+}  // namespace bwlab::fault

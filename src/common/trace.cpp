@@ -152,6 +152,7 @@ const char* to_string(Cat c) {
     case Cat::Tile: return "tile";
     case Cat::Region: return "region";
     case Cat::App: return "app";
+    case Cat::Fault: return "fault";
   }
   return "?";
 }

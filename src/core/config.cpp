@@ -1,6 +1,9 @@
 #include "core/config.hpp"
 
+#include "apps/app_common.hpp"
+#include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace bwlab::core {
 
@@ -138,6 +141,34 @@ Layout layout(const sim::MachineModel& m, const Config& c) {
       break;
   }
   return l;
+}
+
+void Robustness::install() const {
+  if (faults.empty())
+    fault::clear();
+  else
+    fault::install(fault::FaultPlan::parse(faults, seed));
+  fault::set_nan_policy(nan_guard >= 2   ? fault::NanPolicy::Abort
+                        : nan_guard == 1 ? fault::NanPolicy::Report
+                                         : fault::NanPolicy::Off);
+}
+
+void Robustness::apply(apps::Options& opt) const {
+  opt.watchdog_ms = watchdog_ms;
+  opt.checkpoint_every = checkpoint_every;
+  opt.max_restarts = max_restarts;
+  opt.nan_guard = nan_guard;
+}
+
+Robustness robustness_from_cli(const Cli& cli) {
+  Robustness r;
+  r.faults = cli.get("faults", "");
+  r.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
+  r.watchdog_ms = cli.get_double("watchdog-ms", 1000.0);
+  r.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every", 0));
+  r.max_restarts = static_cast<int>(cli.get_int("max-restarts", 2));
+  r.nan_guard = static_cast<int>(cli.get_int("nan-guard", 0));
+  return r;
 }
 
 }  // namespace bwlab::core

@@ -4,10 +4,18 @@
 // AMD machine has no AVX-512 and SMT is disabled; the GPU runs CUDA).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sim/machine.hpp"
+
+namespace bwlab {
+class Cli;
+namespace apps {
+struct Options;
+}  // namespace apps
+}  // namespace bwlab
 
 namespace bwlab::core {
 
@@ -67,5 +75,29 @@ struct Layout {
   int total_threads() const { return ranks * threads_per_rank; }
 };
 Layout layout(const sim::MachineModel& m, const Config& c);
+
+/// Runtime robustness knobs (bwfault), the configuration axis orthogonal
+/// to the paper's compiler/ZMM/HT space: fault injection, deadlock
+/// watchdog, checkpoint/restart and the NaN/Inf field guard. Shared by
+/// every driver binary so the flags mean the same thing everywhere.
+struct Robustness {
+  std::string faults;          ///< fault plan spec ("" = none)
+  std::uint64_t seed = 12345;  ///< seeds the plan's payload-flip masks
+  double watchdog_ms = 1000.0; ///< deadlock grace period (<= 0 disables)
+  int checkpoint_every = 0;    ///< checkpoint cadence in steps (0 = off)
+  int max_restarts = 2;        ///< crash-recovery attempts
+  int nan_guard = 0;           ///< 0 off, 1 report, 2 abort
+
+  /// Installs the process-global pieces: parses + installs the fault
+  /// plan (clears it when `faults` is empty) and sets the NaN policy.
+  void install() const;
+  /// Copies the per-run knobs into an application's Options.
+  void apply(apps::Options& opt) const;
+};
+
+/// Parses the shared robustness flags from an already-constructed Cli:
+/// --faults, --watchdog-ms, --checkpoint-every, --max-restarts,
+/// --nan-guard (seed comes from the common --seed flag).
+Robustness robustness_from_cli(const Cli& cli);
 
 }  // namespace bwlab::core

@@ -1,0 +1,33 @@
+// op2::CheckpointStore: bwfault snapshots of unstructured-mesh dats.
+//
+// The unstructured containers are flat per-element arrays with no ghost
+// state, so a snapshot is simply the committed copy of each dat's flat
+// storage. Two-phase capture semantics come from fault::SnapshotStore —
+// a crash mid-capture never corrupts the last committed checkpoint.
+#pragma once
+
+#include "common/snapshot.hpp"
+#include "op2/set.hpp"
+
+namespace bwlab::op2 {
+
+class CheckpointStore : public fault::SnapshotStore {
+ public:
+  /// Stages `d`'s flat storage into the open transaction.
+  template <class T>
+  void capture(const Dat<T>& d) {
+    capture_raw(d.name(), d.data(),
+                static_cast<std::size_t>(d.size_flat()) * sizeof(T),
+                sizeof(T));
+  }
+
+  /// Restores `d` from the committed snapshot.
+  template <class T>
+  void restore(Dat<T>& d) const {
+    restore_raw(d.name(), d.data(),
+                static_cast<std::size_t>(d.size_flat()) * sizeof(T),
+                sizeof(T));
+  }
+};
+
+}  // namespace bwlab::op2

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <tuple>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/instrument.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
@@ -336,6 +338,36 @@ constexpr bool is_inc(const ArgIInc<T>&) {
   return true;
 }
 
+// NaN/Inf field guard (bwfault): scans dats a loop wrote or incremented.
+template <class T>
+void guard_scan(const std::string& loop, const Dat<T>& d) {
+  if constexpr (std::is_floating_point_v<T>) {
+    const T* p = d.data();
+    const idx_t n = d.size_flat();
+    long long first = -1, bad = 0;
+    for (idx_t x = 0; x < n; ++x)
+      if (!std::isfinite(p[static_cast<std::size_t>(x)])) {
+        if (first < 0) first = x;
+        ++bad;
+      }
+    if (bad > 0) fault::report_nonfinite(loop, d.name(), first, bad);
+  }
+}
+template <class T>
+void guard_check(const std::string& loop, const ArgDWrite<T>& a) {
+  guard_scan(loop, *a.d);
+}
+template <class T>
+void guard_check(const std::string& loop, const ArgDRW<T>& a) {
+  guard_scan(loop, *a.d);
+}
+template <class T>
+void guard_check(const std::string& loop, const ArgIInc<T>& a) {
+  guard_scan(loop, *a.d);
+}
+template <class A>
+void guard_check(const std::string&, const A&) {}
+
 }  // namespace detail
 
 /// Executes `kernel` once per element of `set`. See file header for modes.
@@ -445,6 +477,8 @@ void record(Runtime& rt, const LoopMeta& meta, const Set& set,
       MetricsRegistry::global().histogram("op2.kernel_seconds");
   invocations.inc();
   seconds.observe(elapsed);
+  if (fault::nan_policy() != fault::NanPolicy::Off)
+    (detail::guard_check(meta.name, args), ...);
 }
 
 }  // namespace bwlab::op2

@@ -148,6 +148,13 @@ class Dat {
   idx_t stride_x() const { return sx_; }
   idx_t stride_y() const { return sy_; }
 
+  /// Raw allocation (owned region plus all ghost layers) — the unit of
+  /// checkpoint capture/restore (ops::CheckpointStore). A writer must
+  /// call mark_halos_dirty() afterwards.
+  T* alloc_data() { return data_.data(); }
+  const T* alloc_data() const { return data_.data(); }
+  std::size_t alloc_count() const { return data_.size(); }
+
   /// Boundary condition on face (dim d, side 0=low / 1=high).
   void set_bc(int d, int side, Bc bc) {
     bc_[static_cast<std::size_t>(d)][static_cast<std::size_t>(side)] = bc;

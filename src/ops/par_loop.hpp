@@ -14,9 +14,11 @@
 // idiom of OPS-generated code — and a plain `T&` for reductions.
 #pragma once
 
+#include <cmath>
 #include <tuple>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -168,6 +170,34 @@ void post_mark(const ArgRW<T>& a) {
 }
 template <class A>
 void post_mark(const A&) {}
+
+// NaN/Inf field guard (bwfault): after an eager loop, scan the owned
+// region of every written dat. Off costs one relaxed atomic load per
+// loop; Report/Abort cost one pass over the written fields.
+template <class T>
+void guard_scan(const std::string& loop, const Dat<T>& d) {
+  if constexpr (std::is_floating_point_v<T>) {
+    long long first = -1, bad = 0, idx = 0;
+    for (idx_t k = d.exec_lo(2); k < d.exec_hi(2); ++k)
+      for (idx_t j = d.exec_lo(1); j < d.exec_hi(1); ++j)
+        for (idx_t i = d.exec_lo(0); i < d.exec_hi(0); ++i, ++idx)
+          if (!std::isfinite(d.at(i, j, k))) {
+            if (first < 0) first = idx;
+            ++bad;
+          }
+    if (bad > 0) fault::report_nonfinite(loop, d.name(), first, bad);
+  }
+}
+template <class T>
+void guard_check(const std::string& loop, const ArgWrite<T>& a) {
+  guard_scan(loop, *a.dat);
+}
+template <class T>
+void guard_check(const std::string& loop, const ArgRW<T>& a) {
+  guard_scan(loop, *a.dat);
+}
+template <class A>
+void guard_check(const std::string&, const A&) {}
 
 template <class T>
 count_t arg_bytes(const ArgRead<T>&) {
@@ -400,6 +430,9 @@ void par_loop(const LoopMeta& meta, Block& b, const Range& range,
 
   // 6. Dirty halos of written dats.
   (detail::post_mark(args), ...);
+
+  if (fault::nan_policy() != fault::NanPolicy::Off)
+    (detail::guard_check(meta.name, args), ...);
 }
 
 /// Executes `kernel` over `range` in workgroup-blocked order: the range
@@ -451,6 +484,8 @@ void par_loop_blocked(const LoopMeta& meta, Block& b, const Range& range,
   }
   rec.host_seconds += t.elapsed();
   (detail::post_mark(args), ...);
+  if (fault::nan_policy() != fault::NanPolicy::Off)
+    (detail::guard_check(meta.name, args), ...);
 }
 
 }  // namespace bwlab::ops

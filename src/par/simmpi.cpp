@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -36,17 +39,39 @@ struct Message {
   std::vector<char> payload;
 };
 
-/// Thrown into ranks blocked on communication when a peer rank failed;
-/// run_ranks reports the peer's original exception instead of this one.
+/// Thrown into ranks blocked on communication when a peer rank failed (or
+/// the watchdog fired); run_ranks reports the original cause instead of
+/// these secondary cancellations.
 struct AbortedError : bwlab::Error {
   AbortedError() : bwlab::Error("rank aborted: a peer rank threw") {}
 };
+
+/// What a rank is currently blocked in, for the watchdog's diagnosis.
+enum class BlockedOp { None, Recv, Wait, Barrier, Allreduce, Done };
+
+const char* to_string(BlockedOp op) {
+  switch (op) {
+    case BlockedOp::None: return "running";
+    case BlockedOp::Recv: return "recv";
+    case BlockedOp::Wait: return "wait";
+    case BlockedOp::Barrier: return "barrier";
+    case BlockedOp::Allreduce: return "allreduce";
+    case BlockedOp::Done: return "done";
+  }
+  return "?";
+}
+
 }  // namespace
 
 /// Shared state of one run_ranks() execution.
 class World {
  public:
-  explicit World(int nranks) : n_(nranks), inbox_(nranks) {}
+  explicit World(int nranks)
+      : n_(nranks), inbox_(static_cast<std::size_t>(nranks)),
+        phases_(static_cast<std::size_t>(nranks)),
+        sends_(static_cast<std::size_t>(nranks)),
+        bytes_(static_cast<std::size_t>(nranks)),
+        pending_irecv_(static_cast<std::size_t>(nranks)) {}
 
   int size() const { return n_; }
 
@@ -61,16 +86,23 @@ class World {
       std::lock_guard<std::mutex> lock(box.mu);
       box.messages.push_back(std::move(msg));
     }
+    sends_[static_cast<std::size_t>(src)].fetch_add(
+        1, std::memory_order_relaxed);
+    bytes_[static_cast<std::size_t>(src)].fetch_add(
+        static_cast<long long>(bytes), std::memory_order_relaxed);
+    bump_activity();
     box.cv.notify_all();
   }
 
   /// Blocks until a message matching (src, tag) is available for `dest`,
-  /// then copies it out. Returns the time spent blocked.
+  /// then copies it out. Returns the time spent blocked. `op` is Recv or
+  /// Wait, for the watchdog's attribution only.
   seconds_t collect(int src, int dest, int tag, void* data,
-                    std::size_t bytes) {
+                    std::size_t bytes, BlockedOp op) {
     BWLAB_REQUIRE(src >= 0 && src < n_, "recv from invalid rank " << src);
     Mailbox& box = inbox_[static_cast<std::size_t>(dest)];
     Timer timer;
+    set_phase(dest, op, src, tag, bytes);
     std::unique_lock<std::mutex> lock(box.mu);
     auto match = box.messages.end();
     box.cv.wait(lock, [&] {
@@ -81,31 +113,97 @@ class World {
                            });
       return match != box.messages.end();
     });
-    if (match == box.messages.end()) throw AbortedError();
+    if (match == box.messages.end()) {
+      lock.unlock();
+      set_phase(dest, BlockedOp::None, -1, -1, 0);
+      throw AbortedError();
+    }
     BWLAB_REQUIRE(match->payload.size() == bytes,
-                  "message size mismatch: sent " << match->payload.size()
-                                                 << ", receiving " << bytes);
+                  "message size mismatch: rank "
+                      << dest << " receiving from rank " << src << " tag "
+                      << tag << " expects " << bytes << " bytes, matching "
+                      << "send carries " << match->payload.size());
     std::memcpy(data, match->payload.data(), bytes);
     box.messages.erase(match);
+    lock.unlock();
+    set_phase(dest, BlockedOp::None, -1, -1, 0);
+    bump_activity();
     return timer.elapsed();
   }
 
-  seconds_t barrier() {
+  seconds_t barrier(int rank) {
     Timer timer;
-    std::unique_lock<std::mutex> lock(coll_.mu);
-    const count_t my_gen = coll_.gen;
-    if (++coll_.arrived == n_) {
-      coll_.arrived = 0;
-      ++coll_.gen;
-      coll_.cv.notify_all();
-    } else {
-      coll_.cv.wait(lock, [&] { return coll_.gen != my_gen || aborted_.load(); });
-      if (coll_.gen == my_gen) throw AbortedError();
+    set_phase(rank, BlockedOp::Barrier, -1, -1, 0);
+    {
+      std::unique_lock<std::mutex> lock(coll_.mu);
+      const count_t my_gen = coll_.gen;
+      if (++coll_.arrived == n_) {
+        coll_.arrived = 0;
+        ++coll_.gen;
+        coll_.cv.notify_all();
+      } else {
+        coll_.cv.wait(lock,
+                      [&] { return coll_.gen != my_gen || aborted_.load(); });
+        if (coll_.gen == my_gen) {
+          lock.unlock();
+          set_phase(rank, BlockedOp::None, -1, -1, 0);
+          throw AbortedError();
+        }
+      }
     }
+    set_phase(rank, BlockedOp::None, -1, -1, 0);
+    bump_activity();
     return timer.elapsed();
   }
 
-  /// Wakes every blocked rank after a peer threw.
+  seconds_t allreduce(int rank, double* vals, int count, ReduceOp op) {
+    Timer timer;
+    set_phase(rank, BlockedOp::Allreduce, -1, -1,
+              static_cast<std::size_t>(count) * sizeof(double));
+    {
+      std::unique_lock<std::mutex> lock(coll_.mu);
+      if (coll_.arrived == 0) {
+        coll_.buf.assign(vals, vals + count);
+      } else {
+        BWLAB_REQUIRE(coll_.buf.size() == static_cast<std::size_t>(count),
+                      "allreduce count mismatch across ranks");
+        for (int i = 0; i < count; ++i) {
+          switch (op) {
+            case ReduceOp::Sum: coll_.buf[static_cast<std::size_t>(i)] += vals[i]; break;
+            case ReduceOp::Min:
+              coll_.buf[static_cast<std::size_t>(i)] =
+                  std::min(coll_.buf[static_cast<std::size_t>(i)], vals[i]);
+              break;
+            case ReduceOp::Max:
+              coll_.buf[static_cast<std::size_t>(i)] =
+                  std::max(coll_.buf[static_cast<std::size_t>(i)], vals[i]);
+              break;
+          }
+        }
+      }
+      const count_t my_gen = coll_.gen;
+      if (++coll_.arrived == n_) {
+        coll_.result = coll_.buf;
+        coll_.arrived = 0;
+        ++coll_.gen;
+        coll_.cv.notify_all();
+      } else {
+        coll_.cv.wait(lock,
+                      [&] { return coll_.gen != my_gen || aborted_.load(); });
+        if (coll_.gen == my_gen) {
+          lock.unlock();
+          set_phase(rank, BlockedOp::None, -1, -1, 0);
+          throw AbortedError();
+        }
+      }
+      std::copy(coll_.result.begin(), coll_.result.end(), vals);
+    }
+    set_phase(rank, BlockedOp::None, -1, -1, 0);
+    bump_activity();
+    return timer.elapsed();
+  }
+
+  /// Wakes every blocked rank after a peer threw (or the watchdog fired).
   void abort_all() {
     aborted_.store(true);
     for (Mailbox& box : inbox_) {
@@ -126,45 +224,127 @@ class World {
     }
   }
 
-  seconds_t allreduce(double* vals, int count, ReduceOp op) {
-    Timer timer;
-    std::unique_lock<std::mutex> lock(coll_.mu);
-    if (coll_.arrived == 0) {
-      coll_.buf.assign(vals, vals + count);
-    } else {
-      BWLAB_REQUIRE(coll_.buf.size() == static_cast<std::size_t>(count),
-                    "allreduce count mismatch across ranks");
-      for (int i = 0; i < count; ++i) {
-        switch (op) {
-          case ReduceOp::Sum: coll_.buf[static_cast<std::size_t>(i)] += vals[i]; break;
-          case ReduceOp::Min:
-            coll_.buf[static_cast<std::size_t>(i)] =
-                std::min(coll_.buf[static_cast<std::size_t>(i)], vals[i]);
-            break;
-          case ReduceOp::Max:
-            coll_.buf[static_cast<std::size_t>(i)] =
-                std::max(coll_.buf[static_cast<std::size_t>(i)], vals[i]);
-            break;
-        }
+  // --- Watchdog interface ----------------------------------------------------
+
+  void mark_done(int rank) { set_phase(rank, BlockedOp::Done, -1, -1, 0); }
+
+  void irecv_posted(int rank) {
+    pending_irecv_[static_cast<std::size_t>(rank)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void irecv_completed(int rank) {
+    pending_irecv_[static_cast<std::size_t>(rank)].fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t activity() const {
+    return activity_.load(std::memory_order_relaxed);
+  }
+
+  /// True when at least one rank is live (not Done) and every live rank
+  /// is blocked in a communication operation. Such a state can only end
+  /// through mailbox traffic — if the activity counter does not move
+  /// either, the run is deadlocked.
+  bool all_live_blocked() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    int live = 0;
+    for (const RankPhase& p : phases_) {
+      if (p.op == BlockedOp::Done) continue;
+      if (p.op == BlockedOp::None) return false;
+      ++live;
+    }
+    return live > 0;
+  }
+
+  bool all_done() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const RankPhase& p : phases_)
+      if (p.op != BlockedOp::Done) return false;
+    return true;
+  }
+
+  /// Per-rank diagnostic dump for the watchdog failure message: blocked
+  /// operation + peer/tag/bytes, pending-irecv census, send counters, and
+  /// the messages sitting unmatched in each mailbox.
+  std::string dump() const {
+    std::ostringstream os;
+    std::vector<RankPhase> snap;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      snap = phases_;
+    }
+    for (int r = 0; r < n_; ++r) {
+      const auto rs = static_cast<std::size_t>(r);
+      const RankPhase& p = snap[rs];
+      os << "  rank " << r << ": ";
+      switch (p.op) {
+        case BlockedOp::Recv:
+        case BlockedOp::Wait:
+          os << "blocked in " << to_string(p.op) << "(src=" << p.peer
+             << ", tag=" << p.tag << ", bytes=" << p.bytes << ")";
+          break;
+        case BlockedOp::Barrier:
+          os << "blocked in barrier";
+          break;
+        case BlockedOp::Allreduce:
+          os << "blocked in allreduce(bytes=" << p.bytes << ")";
+          break;
+        case BlockedOp::None:
+          os << "running";
+          break;
+        case BlockedOp::Done:
+          os << "finished";
+          break;
       }
+      os << "; sent " << sends_[rs].load(std::memory_order_relaxed)
+         << " msgs/" << bytes_[rs].load(std::memory_order_relaxed)
+         << " B; pending irecvs "
+         << pending_irecv_[rs].load(std::memory_order_relaxed);
+      Mailbox& box = const_cast<Mailbox&>(inbox_[rs]);
+      std::lock_guard<std::mutex> lock(box.mu);
+      if (box.messages.empty()) {
+        os << "; mailbox empty";
+      } else {
+        os << "; mailbox holds " << box.messages.size() << " unmatched:";
+        for (const Message& m : box.messages)
+          os << " [src=" << m.src << " tag=" << m.tag << " bytes="
+             << m.payload.size() << "]";
+      }
+      os << "\n";
     }
-    const count_t my_gen = coll_.gen;
-    if (++coll_.arrived == n_) {
-      coll_.result = coll_.buf;
-      coll_.arrived = 0;
-      ++coll_.gen;
-      coll_.cv.notify_all();
-    } else {
-      coll_.cv.wait(lock, [&] { return coll_.gen != my_gen || aborted_.load(); });
-      if (coll_.gen == my_gen) throw AbortedError();
+    return os.str();
+  }
+
+  void watchdog_fire(double grace_ms) {
+    trace::TraceSpan span(trace::Cat::Fault, "watchdog:deadlock");
+    static Counter& fires =
+        MetricsRegistry::global().counter("watchdog.deadlocks");
+    fires.inc();
+    std::ostringstream os;
+    os << "bwfault watchdog: no progress for " << grace_ms
+       << " ms — all live ranks blocked, no mailbox traffic; "
+       << "aborting the run\n"
+       << dump();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      watchdog_msg_ = os.str();
+      watchdog_fired_ = true;
     }
-    std::copy(coll_.result.begin(), coll_.result.end(), vals);
-    return timer.elapsed();
+    abort_all();
+  }
+
+  bool watchdog_fired() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return watchdog_fired_;
+  }
+  std::string watchdog_message() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return watchdog_msg_;
   }
 
  private:
   struct Mailbox {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> messages;
   };
@@ -176,18 +356,58 @@ class World {
     std::vector<double> buf;
     std::vector<double> result;
   };
+  struct RankPhase {
+    BlockedOp op = BlockedOp::None;
+    int peer = -1;
+    int tag = -1;
+    std::size_t bytes = 0;
+  };
+
+  void set_phase(int rank, BlockedOp op, int peer, int tag,
+                 std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    RankPhase& p = phases_[static_cast<std::size_t>(rank)];
+    p.op = op;
+    p.peer = peer;
+    p.tag = tag;
+    p.bytes = bytes;
+  }
+
+  void bump_activity() {
+    activity_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   int n_;
   std::vector<Mailbox> inbox_;
   Collective coll_;
   std::atomic<bool> aborted_{false};
+
+  mutable std::mutex state_mu_;
+  std::vector<RankPhase> phases_;
+  bool watchdog_fired_ = false;
+  std::string watchdog_msg_;
+  std::atomic<std::uint64_t> activity_{0};
+  std::vector<std::atomic<long long>> sends_;
+  std::vector<std::atomic<long long>> bytes_;
+  std::vector<std::atomic<long long>> pending_irecv_;
 };
 
 int Comm::size() const { return world_->size(); }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   trace::TraceSpan span(trace::Cat::Comm, "send");
-  world_->deliver(rank_, dest, tag, data, bytes);
+  if (fault::active()) {
+    // Copy first so an injected payload flip corrupts the wire bytes,
+    // never the caller's buffer.
+    std::vector<char> wire(static_cast<const char*>(data),
+                           static_cast<const char*>(data) + bytes);
+    const fault::MsgAction action =
+        fault::on_send(rank_, dest, tag, wire.data(), bytes);
+    if (action != fault::MsgAction::Drop)
+      world_->deliver(rank_, dest, tag, wire.data(), bytes);
+  } else {
+    world_->deliver(rank_, dest, tag, data, bytes);
+  }
   ++msgs_sent_;
   bytes_sent_ += bytes;
   static Counter& msgs = MetricsRegistry::global().counter("comm.messages");
@@ -201,7 +421,8 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
   trace::TraceSpan span(trace::Cat::Comm, "recv");
-  const seconds_t blocked = world_->collect(src, rank_, tag, data, bytes);
+  const seconds_t blocked =
+      world_->collect(src, rank_, tag, data, bytes, BlockedOp::Recv);
   comm_seconds_ += blocked;
   record_blocked(blocked);
 }
@@ -224,13 +445,20 @@ Comm::Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
   r.tag = tag;
   r.data = data;
   r.bytes = bytes;
+  world_->irecv_posted(rank_);
   return r;
 }
 
 void Comm::wait(Request& r) {
   if (r.done) return;
   trace::TraceSpan span(trace::Cat::Comm, "wait");
-  if (r.is_recv) recv(r.peer, r.tag, r.data, r.bytes);
+  if (r.is_recv) {
+    const seconds_t blocked = world_->collect(r.peer, rank_, r.tag, r.data,
+                                              r.bytes, BlockedOp::Wait);
+    comm_seconds_ += blocked;
+    record_blocked(blocked);
+    world_->irecv_completed(rank_);
+  }
   r.done = true;
 }
 
@@ -240,14 +468,14 @@ void Comm::wait_all(std::vector<Request>& rs) {
 
 void Comm::barrier() {
   trace::TraceSpan span(trace::Cat::Comm, "barrier");
-  const seconds_t blocked = world_->barrier();
+  const seconds_t blocked = world_->barrier(rank_);
   comm_seconds_ += blocked;
   record_blocked(blocked);
 }
 
 void Comm::allreduce(double* vals, int n, ReduceOp op) {
   trace::TraceSpan span(trace::Cat::Comm, "allreduce");
-  const seconds_t blocked = world_->allreduce(vals, n, op);
+  const seconds_t blocked = world_->allreduce(rank_, vals, n, op);
   comm_seconds_ += blocked;
   record_blocked(blocked);
 }
@@ -265,8 +493,55 @@ double Comm::allreduce_max(double v) {
   return v;
 }
 
+namespace {
+
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+bool is_rank_failure(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const RankFailure&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string format_rank_errors(const std::vector<RankError>& errors) {
+  std::ostringstream os;
+  os << errors.size() << " rank(s) failed";
+  for (const RankError& e : errors)
+    os << "\n  rank " << e.rank << ": " << e.message;
+  return os.str();
+}
+
+}  // namespace
+
+MultiRankError::MultiRankError(std::vector<RankError> errors)
+    : Error(format_rank_errors(errors)), errors_(std::move(errors)) {}
+
+bool MultiRankError::any_rank_failure() const {
+  for (const RankError& e : errors_)
+    if (e.rank_failure) return true;
+  return false;
+}
+
 std::vector<RankStats> run_ranks(int nranks,
                                  const std::function<void(Comm&)>& fn) {
+  return run_ranks(nranks, fn, RunOptions{});
+}
+
+std::vector<RankStats> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& fn,
+                                 const RunOptions& opts) {
   BWLAB_REQUIRE(nranks >= 1, "run_ranks needs >= 1 rank, got " << nranks);
   World world(nranks);
   std::vector<RankStats> stats(static_cast<std::size_t>(nranks));
@@ -283,21 +558,64 @@ std::vector<RankStats> run_ranks(int nranks,
       errors[static_cast<std::size_t>(r)] = std::current_exception();
       world.abort_all();
     }
+    world.mark_done(r);
     RankStats& st = stats[static_cast<std::size_t>(r)];
     st.comm_seconds = comm.comm_seconds();
     st.messages_sent = comm.messages_sent();
     st.payload_bytes_sent = comm.payload_bytes_sent();
   };
 
+  // Progress watchdog: a sustained "all live ranks blocked, activity
+  // counter frozen" state cannot resolve itself (only ranks generate
+  // traffic), so after the grace period it is a proven deadlock.
+  std::thread watchdog;
+  std::atomic<bool> watchdog_stop{false};
+  if (opts.watchdog_grace_ms > 0) {
+    watchdog = std::thread([&world, &watchdog_stop, &opts] {
+      trace::set_thread_track(0, 1 << 16, "bwfault watchdog");
+      const double poll_ms =
+          std::clamp(opts.watchdog_grace_ms / 4.0, 5.0, 100.0);
+      double stable_ms = 0;
+      std::uint64_t last_activity = world.activity();
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<long>(poll_ms * 1e3)));
+        if (world.all_done()) return;
+        const std::uint64_t act = world.activity();
+        if (act == last_activity && world.all_live_blocked()) {
+          stable_ms += poll_ms;
+          if (stable_ms >= opts.watchdog_grace_ms) {
+            world.watchdog_fire(opts.watchdog_grace_ms);
+            return;
+          }
+        } else {
+          stable_ms = 0;
+          last_activity = act;
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks - 1));
   for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
   body(0);
   for (std::thread& t : threads) t.join();
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_relaxed);
+    watchdog.join();
+  }
 
-  // Prefer the originating error over secondary AbortedErrors.
-  for (const std::exception_ptr& e : errors)
-    if (e && !World::is_abort(e)) std::rethrow_exception(e);
+  // Aggregate every original failure (rank-id prefixed); cancellations
+  // (AbortedError) are secondary and reported only if nothing else is.
+  std::vector<RankError> fails;
+  for (int r = 0; r < nranks; ++r) {
+    const std::exception_ptr& e = errors[static_cast<std::size_t>(r)];
+    if (e && !World::is_abort(e))
+      fails.push_back(RankError{r, describe(e), is_rank_failure(e)});
+  }
+  if (!fails.empty()) throw MultiRankError(std::move(fails));
+  if (world.watchdog_fired()) throw WatchdogError(world.watchdog_message());
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
   return stats;

@@ -8,11 +8,22 @@
 // the functional analogue of the paper's MPI_Wait measurements (Figure 7);
 // *modeled* communication times for the paper's platforms come from
 // sim::CommModel instead.
+//
+// Robustness (bwfault): run_ranks never hangs and never loses an error.
+// A progress watchdog converts any deadlock (all live ranks blocked, no
+// mailbox traffic for a grace period) into a WatchdogError carrying a
+// per-rank diagnostic dump; a rank that throws poisons every blocked
+// peer's mailbox promptly; and the join aggregates *all* rank errors into
+// one MultiRankError instead of rethrowing an arbitrary one. Fault
+// injection hooks (common/fault.hpp) sit on the send path and can drop,
+// delay, or corrupt messages deterministically.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace bwlab::par {
@@ -30,7 +41,9 @@ class Comm {
   // --- Point-to-point ------------------------------------------------------
   /// Eager buffered send: copies `bytes` and returns immediately.
   void send(int dest, int tag, const void* data, std::size_t bytes);
-  /// Blocking receive; message sizes must match the matching send exactly.
+  /// Blocking receive. The matching send's size must equal `bytes`
+  /// exactly; a mismatch is a diagnosed error naming rank, peer, tag and
+  /// both sizes.
   void recv(int src, int tag, void* data, std::size_t bytes);
 
   /// Nonblocking handles. isend is eagerly buffered (already complete);
@@ -84,9 +97,54 @@ struct RankStats {
   count_t payload_bytes_sent = 0;  ///< payload bytes (send + isend)
 };
 
-/// Runs `fn(comm)` on `nranks` ranks (threads) and joins them. Any
-/// exception thrown by a rank is rethrown here after all ranks stopped.
+/// One rank's failure inside run_ranks.
+struct RankError {
+  int rank = -1;
+  std::string message;
+  bool rank_failure = false;  ///< thrown par::RankFailure (injected crash)
+};
+
+/// Every non-cancellation error of a run_ranks execution, rank-id
+/// prefixed. Peers cancelled by the failure (poisoned mailboxes) are not
+/// listed — only original causes are.
+class MultiRankError : public Error {
+ public:
+  explicit MultiRankError(std::vector<RankError> errors);
+  const std::vector<RankError>& errors() const { return errors_; }
+  /// True if any failed rank died of an injected crash (RankFailure) —
+  /// the checkpoint/restart supervisor's retry condition.
+  bool any_rank_failure() const;
+
+ private:
+  std::vector<RankError> errors_;
+};
+
+/// Thrown by run_ranks when the progress watchdog detected a deadlock:
+/// all live ranks blocked in recv/wait/barrier/allreduce with no mailbox
+/// traffic for the grace period. what() carries the per-rank dump
+/// (blocking operation, peer, tag, bytes, pending irecvs, mailbox
+/// contents, send counters).
+class WatchdogError : public Error {
+ public:
+  explicit WatchdogError(const std::string& dump) : Error(dump) {}
+};
+
+/// Knobs of one run_ranks execution.
+struct RunOptions {
+  /// Grace period of the progress watchdog: a stable "all live ranks
+  /// blocked, no traffic" state lasting this long is declared a deadlock
+  /// and aborted with a WatchdogError. <= 0 disables the watchdog.
+  double watchdog_grace_ms = 1000.0;
+};
+
+/// Runs `fn(comm)` on `nranks` ranks (threads) and joins them. Failures
+/// are aggregated: every rank's own exception (never the secondary
+/// cancellations) is reported through one MultiRankError; a deadlock is
+/// reported as a WatchdogError instead of hanging.
 std::vector<RankStats> run_ranks(int nranks,
                                  const std::function<void(Comm&)>& fn);
+std::vector<RankStats> run_ranks(int nranks,
+                                 const std::function<void(Comm&)>& fn,
+                                 const RunOptions& opts);
 
 }  // namespace bwlab::par

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "par/partition.hpp"
 #include "par/simmpi.hpp"
 #include "par/thread_pool.hpp"
@@ -194,6 +197,164 @@ TEST(SimMpi, SizeMismatchDetected) {
                            }
                          }),
                Error);
+}
+
+// --- SimMPI robustness (bwfault) --------------------------------------------
+
+namespace {
+/// True when `haystack` contains every needle (diagnostic-message check).
+bool contains_all(const std::string& haystack,
+                  std::initializer_list<const char*> needles) {
+  for (const char* n : needles)
+    if (haystack.find(n) == std::string::npos) return false;
+  return true;
+}
+}  // namespace
+
+TEST(SimMpi, SizeMismatchNamesRanksTagAndBothSizes) {
+  try {
+    run_ranks(2, [](Comm& c) {
+      double x = 0;
+      if (c.rank() == 0) {
+        c.send(1, 5, &x, 4);
+      } else {
+        c.recv(0, 5, &x, 8);
+      }
+    });
+    FAIL() << "expected a size-mismatch error";
+  } catch (const MultiRankError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].rank, 1);
+    EXPECT_FALSE(e.errors()[0].rank_failure);
+    EXPECT_TRUE(contains_all(
+        e.errors()[0].message,
+        {"size mismatch", "rank 1", "rank 0", "tag 5", "8", "4"}))
+        << e.errors()[0].message;
+  }
+}
+
+// A mismatched-tag hang: rank 0 sends tag 1 but rank 1 waits on tag 2.
+// The watchdog must convert this into a diagnosed failure well under the
+// 2 s acceptance bound, naming each rank's blocking operation, peer and
+// tag, and the unmatched message sitting in the mailbox.
+TEST(SimMpi, WatchdogDiagnosesMismatchedTagHang) {
+  RunOptions ro;
+  ro.watchdog_grace_ms = 150;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    run_ranks(
+        2,
+        [](Comm& c) {
+          double x = 0;
+          if (c.rank() == 0) {
+            c.send(1, 1, &x, sizeof x);
+            c.recv(1, 3, &x, sizeof x);  // never sent either
+          } else {
+            c.recv(0, 2, &x, sizeof x);  // wrong tag: hangs
+          }
+        },
+        ro);
+    FAIL() << "expected WatchdogError";
+  } catch (const WatchdogError& e) {
+    EXPECT_TRUE(contains_all(e.what(),
+                             {"no progress", "rank 0", "rank 1",
+                              "blocked in recv", "src=0, tag=2",
+                              "unmatched", "src=0 tag=1"}))
+        << e.what();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_s, 2.0);
+}
+
+// An injected message drop turns a correct program into a hang; the
+// watchdog attributes it instead of letting the run wedge forever.
+TEST(SimMpi, WatchdogCatchesInjectedMessageDrop) {
+  fault::install(fault::FaultPlan::parse("drop:rank=0,msg=0", 7));
+  RunOptions ro;
+  ro.watchdog_grace_ms = 150;
+  EXPECT_THROW(run_ranks(
+                   2,
+                   [](Comm& c) {
+                     double x = 1.0;
+                     if (c.rank() == 0) {
+                       c.send(1, 9, &x, sizeof x);
+                     } else {
+                       c.recv(0, 9, &x, sizeof x);
+                     }
+                   },
+                   ro),
+               WatchdogError);
+  const auto evs = fault::events();
+  fault::clear();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].kind, fault::Kind::Drop);
+}
+
+// An injected crash kills one rank; its peers, blocked in a collective,
+// must be cancelled promptly and must NOT appear in the aggregated error
+// (they are victims, not causes).
+TEST(SimMpi, InjectedCrashAggregatesOnlyTheOriginalFailure) {
+  fault::install(fault::FaultPlan::parse("crash:rank=1,step=0", 7));
+  try {
+    run_ranks(3, [](Comm& c) {
+      fault::on_step(c.rank(), 0);
+      c.barrier();  // survivors block here until cancelled
+      c.barrier();
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const MultiRankError& e) {
+    EXPECT_TRUE(e.any_rank_failure());
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].rank, 1);
+    EXPECT_TRUE(e.errors()[0].rank_failure);
+  }
+  fault::clear();
+}
+
+// Two ranks failing independently are BOTH reported.
+TEST(SimMpi, AllOriginalRankErrorsAreAggregated) {
+  try {
+    run_ranks(4, [](Comm& c) {
+      if (c.rank() == 1) BWLAB_REQUIRE(false, "rank 1 boom");
+      if (c.rank() == 3) BWLAB_REQUIRE(false, "rank 3 boom");
+      double x = 0;
+      c.recv(1, 9, &x, sizeof x);  // survivors block; cancelled by aborts
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const MultiRankError& e) {
+    ASSERT_EQ(e.errors().size(), 2u);
+    EXPECT_FALSE(e.any_rank_failure());
+    EXPECT_EQ(e.errors()[0].rank, 1);
+    EXPECT_EQ(e.errors()[1].rank, 3);
+    EXPECT_TRUE(contains_all(e.what(), {"rank 1 boom", "rank 3 boom"}))
+        << e.what();
+  }
+}
+
+// A healthy (if slow) run must never trip the watchdog: one rank computes
+// for several grace periods while the others wait in a collective.
+TEST(SimMpi, WatchdogIgnoresSlowButLiveRanks) {
+  RunOptions ro;
+  ro.watchdog_grace_ms = 50;
+  const auto stats = run_ranks(
+      2,
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          // ~several grace periods of pure compute, no messages.
+          const auto until = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(300);
+          volatile double x = 0;
+          while (std::chrono::steady_clock::now() < until) x = x + 1.0;
+          (void)x;
+        }
+        c.barrier();
+        const double s = c.allreduce_sum(1.0);
+        EXPECT_DOUBLE_EQ(s, 2.0);
+      },
+      ro);
+  EXPECT_EQ(stats.size(), 2u);
 }
 
 // --- Partitioning -----------------------------------------------------------
