@@ -11,11 +11,14 @@ using namespace bwlab;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "abl_tile_size");
   apps::Options base;
   base.n = cli.get_int("n", 192);
   base.iterations = static_cast<int>(cli.get_int("iters", 3));
 
   const apps::Result eager = apps::clover2d::run(base);
+  run.record_value("host.clover2d.eager_s", "s", benchjson::Better::Lower,
+                   eager.elapsed);
 
   Table t("Ablation — tile height sweep on THIS host (CloverLeaf 2D, n=" +
           std::to_string(base.n) + ")");
@@ -32,8 +35,10 @@ int main(int argc, char** argv) {
     const apps::Result r = apps::clover2d::run(o);
     t.add_row({double(tile), r.elapsed, eager.elapsed / r.elapsed,
                std::string(r.checksum == eager.checksum ? "yes" : "NO")});
+    run.record_value("host.clover2d.tile" + std::to_string(tile) + "_s", "s",
+                     benchjson::Better::Lower, r.elapsed);
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   // Model view: which cache level a tile of given height occupies on each
   // platform (15 resident arrays at 7680 columns of doubles).
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
                sim::BandwidthModel(sim::icx8360y()).blocked_bw(bytes, sim::Scope::Node) / kGB,
                sim::BandwidthModel(sim::milanx()).blocked_bw(bytes, sim::Scope::Node) / kGB});
   }
-  bench::emit(cli, m);
+  run.emit(m);
+  run.finish();
   return 0;
 }

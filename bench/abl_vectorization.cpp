@@ -12,6 +12,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "abl_vectorization");
 
   Table host("Ablation — execution modes on THIS host (real runs)");
   host.set_columns({{"app / mode", 0},
@@ -24,11 +25,16 @@ int main(int argc, char** argv) {
     const apps::Result serial = apps::mgcfd::run(o);
     host.add_row({std::string("MG-CFD serial"), serial.elapsed,
                   std::string("-")});
+    run.record_value("host.mgcfd.serial_s", "s", benchjson::Better::Lower,
+                     serial.elapsed);
     for (auto [mode, name] : {std::pair{1, "MG-CFD vec"},
                               std::pair{2, "MG-CFD colored"}}) {
       apps::Options v = o;
       v.exec_mode = mode;
       const apps::Result r = apps::mgcfd::run(v);
+      run.record_value(std::string("host.mgcfd.mode") + std::to_string(mode) +
+                           "_s",
+                       "s", benchjson::Better::Lower, r.elapsed);
       host.add_row({std::string(name), r.elapsed,
                     std::string(std::abs(r.checksum - serial.checksum) <
                                         1e-9 * std::abs(serial.checksum)
@@ -55,7 +61,7 @@ int main(int argc, char** argv) {
                                     : "NO")});
     }
   }
-  bench::emit(cli, host);
+  run.emit(host);
 
   Table model("Model — vec-lane ingredients per platform");
   model.set_columns({{"platform / zmm", 0},
@@ -70,7 +76,7 @@ int main(int argc, char** argv) {
   model.add_row({std::string("7V73X (AVX2)"),
                  vec_gather_speedup(sim::milanx(), Zmm::Default),
                  std::string("4 lanes, smaller pack overhead (paper S6)")});
-  bench::emit(cli, model);
+  run.emit(model);
 
   // Full-app model consequence on the MAX CPU.
   Table eff("Model — MPI vec over pure MPI on MAX 9480 (paper: 1.6-1.8x)");
@@ -80,9 +86,13 @@ int main(int argc, char** argv) {
     const Config mpi{Compiler::OneAPI, Zmm::High, true, ParMode::Mpi};
     Config vec = mpi;
     vec.par = ParMode::MpiVec;
-    eff.add_row({a->display, pm.predict(a->profile, mpi).total() /
-                                 pm.predict(a->profile, vec).total()});
+    const double sp = pm.predict(a->profile, mpi).total() /
+                      pm.predict(a->profile, vec).total();
+    eff.add_row({a->display, sp});
+    run.record_value("model." + a->id + ".vec_speedup", "x",
+                     benchjson::Better::Higher, sp);
   }
-  bench::emit(cli, eff);
+  run.emit(eff);
+  run.finish();
   return 0;
 }

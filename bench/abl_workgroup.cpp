@@ -15,6 +15,7 @@ using namespace bwlab;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "abl_workgroup");
 
   Table model(
       "Model — streaming efficiency of workgroup shapes (domain 320^3, "
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
     model.add_row({std::string(s.label),
                    core::workgroup_stream_efficiency(s.wx, 320, 8),
                    std::string(s.note)});
-  bench::emit(cli, model);
+  run.emit(model);
 
   // Real executor: a 3-D stencil at several shapes on this host.
   const idx_t n = cli.get_int("n", 96);
@@ -53,7 +54,6 @@ int main(int argc, char** argv) {
                  a(0, 0, -1) + a(0, 0, 1) - 6.0 * a(0, 0, 0);
   };
   const ops::Range r = ops::Range::make3d(1, n - 1, 1, n - 1, 1, n - 1);
-  const int reps = static_cast<int>(cli.get_int("reps", 3));
 
   // Canonical order reference (checksum target).
   ops::par_loop({"ref", 8.0}, b, r, kern,
@@ -69,22 +69,23 @@ int main(int argc, char** argv) {
   for (std::array<idx_t, 3> wg :
        {std::array<idx_t, 3>{n, 1, 1}, {n / 2, 4, 4}, {16, 8, 8},
         {4, 16, 16}, {1, 32, 32}}) {
-    Timer t;
-    for (int rep = 0; rep < reps; ++rep)
+    const std::string shape = std::to_string(wg[0]) + "x" +
+                              std::to_string(wg[1]) + "x" +
+                              std::to_string(wg[2]);
+    const double el = run.time_seconds("host.wg" + shape + ".s", [&] {
       ops::par_loop_blocked({"wg", 8.0}, b, r, wg, kern,
                             ops::read(u, ops::Stencil::star(3, 1)),
                             ops::write(v));
-    const double el = t.elapsed() / reps;
+    });
     double sum = 0;
     ops::par_loop({"sum2", 1.0}, b, r,
                   [](ops::Acc<const double> a, double& s) {
                     s += a(0, 0, 0);
                   },
                   ops::read(v), ops::reduce_sum(sum));
-    host.add_row({std::to_string(wg[0]) + "x" + std::to_string(wg[1]) + "x" +
-                      std::to_string(wg[2]),
-                  el, std::string(sum == ref_sum ? "yes" : "NO")});
+    host.add_row({shape, el, std::string(sum == ref_sum ? "yes" : "NO")});
   }
-  bench::emit(cli, host);
+  run.emit(host);
+  run.finish();
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace bwlab;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig1_babelstream");
 
   Table t("Figure 1 — BabelStream Triad bandwidth (GB/s), model");
   t.set_columns({{"array MiB", 1},
@@ -40,7 +41,18 @@ int main(int argc, char** argv) {
                amd.stream_bw(ws, sim::Scope::OneSocket) / kGB,
                amd.stream_bw(ws, sim::Scope::Node) / kGB});
   }
-  bench::emit(cli, t);
+  run.emit(t);
+
+  // Headline plateaus into the trajectory file (deterministic model
+  // outputs: one sample each, zero MAD).
+  run.record_value("model.max_node.gbs", "GB/s", benchjson::Better::Higher,
+                   mx.stream_bw(64 * kGiB, sim::Scope::Node) / kGB);
+  run.record_value("model.max_node_ss.gbs", "GB/s", benchjson::Better::Higher,
+                   mx.stream_bw(64 * kGiB, sim::Scope::Node, true) / kGB);
+  run.record_value("model.icx_node.gbs", "GB/s", benchjson::Better::Higher,
+                   icx.stream_bw(64 * kGiB, sim::Scope::Node) / kGB);
+  run.record_value("model.amd_node.gbs", "GB/s", benchjson::Better::Higher,
+                   amd.stream_bw(64 * kGiB, sim::Scope::Node) / kGB);
 
   Table plateau("Figure 1 plateaus — paper vs model");
   plateau.set_columns(
@@ -59,7 +71,7 @@ int main(int argc, char** argv) {
                    icx.cache_to_mem_ratio()});
   plateau.add_row({std::string("7V73X cache:mem ratio"), 14.0,
                    amd.cache_to_mem_ratio()});
-  bench::emit(cli, plateau);
+  run.emit(plateau);
 
   // Real host lane: run the actual BabelStream kernels here.
   const idx_t n = cli.get_int("host-elems", 1 << 22);
@@ -70,8 +82,12 @@ int main(int argc, char** argv) {
   Table host("BabelStream on THIS host (real measurement)");
   host.set_columns({{"kernel", 0}, {"GB/s", 2}, {"verified max rel err", 12}});
   const double err = bs.verify(reps, bs.last_dot());
-  for (const auto& r : results)
+  for (const auto& r : results) {
     host.add_row({r.kernel, r.bandwidth() / kGB, err});
-  bench::emit(cli, host);
+    run.record_value("host." + r.kernel + ".gbs", "GB/s",
+                     benchjson::Better::Higher, r.bandwidth() / kGB);
+  }
+  run.emit(host);
+  run.finish();
   return 0;
 }

@@ -10,6 +10,7 @@ using namespace bwlab;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig2_latency");
 
   Table t("Figure 2 — core-to-core message latency (ns), model");
   t.set_columns({{"platform", 0},
@@ -24,8 +25,11 @@ int main(int argc, char** argv) {
                m->latency_ns(sim::PairClass::SameNuma),
                m->latency_ns(sim::PairClass::CrossNuma),
                m->latency_ns(sim::PairClass::CrossSocket)});
+    run.record_value("model." + m->id + ".cross_socket.ns", "ns",
+                     benchjson::Better::Lower,
+                     m->latency_ns(sim::PairClass::CrossSocket));
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   Table claims("Figure 2 claims — paper vs model");
   claims.set_columns({{"claim", 0}, {"paper", 2}, {"model", 2}});
@@ -38,7 +42,7 @@ int main(int argc, char** argv) {
        1.0,
        sim::max9480().lat_ns_cross_socket /
            sim::icx8360y().lat_ns_cross_socket});
-  bench::emit(cli, claims);
+  run.emit(claims);
 
   // Real harness on this host (single-core containers report scheduling
   // latency rather than coherence latency; the harness itself is what is
@@ -49,7 +53,10 @@ int main(int argc, char** argv) {
     const micro::LatencyResult r = micro::measure_host(
         lines, static_cast<count_t>(cli.get_int("messages", 100000)));
     host.add_row({double(lines), r.ns_per_message});
+    run.record_value("host.lines" + std::to_string(lines) + ".ns_per_msg",
+                     "ns", benchjson::Better::Lower, r.ns_per_message);
   }
-  bench::emit(cli, host);
+  run.emit(host);
+  run.finish();
   return 0;
 }

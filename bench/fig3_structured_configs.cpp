@@ -10,7 +10,7 @@ using namespace bwlab::core;
 
 namespace {
 
-void sweep(const Cli& cli, const sim::MachineModel& m) {
+void sweep(bench::Runner& run, const sim::MachineModel& m) {
   const auto apps = structured_apps();
   const auto space = config_space(m, AppClass::Structured);
 
@@ -36,7 +36,7 @@ void sweep(const Cli& cli, const sim::MachineModel& m) {
     row.push_back(mean(norm[r]));
     t.add_row(std::move(row));
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   const auto s = summarize_slowdowns(norm);
   Table sum("Sensitivity summary on " + m.name);
@@ -46,14 +46,20 @@ void sweep(const Cli& cli, const sim::MachineModel& m) {
                s.mean});
   sum.add_row({std::string("median slowdown vs best"), is_max ? 1.12 : 1.05,
                s.median});
-  bench::emit(cli, sum);
+  run.emit(sum);
+  run.record_value("model." + m.id + ".mean_slowdown", "x",
+                   benchjson::Better::Lower, s.mean);
+  run.record_value("model." + m.id + ".median_slowdown", "x",
+                   benchjson::Better::Lower, s.median);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  sweep(cli, sim::max9480());
-  sweep(cli, sim::icx8360y());
+  bench::Runner run(cli, "fig3_structured_configs");
+  sweep(run, sim::max9480());
+  sweep(run, sim::icx8360y());
+  run.finish();
   return 0;
 }

@@ -9,6 +9,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig5_parallelizations");
   const sim::MachineModel& m = sim::max9480();
   PerfModel pm(m);
 
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
                    ? Cell(rel(ParMode::MpiVec))
                    : Cell(std::monostate{})});
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   Table claims("Figure 5 claims — paper vs model");
   claims.set_columns({{"claim", 0}, {"paper", 2}, {"model", 2}});
@@ -54,6 +55,12 @@ int main(int argc, char** argv) {
   claims.add_row({std::string("miniBUDE: SYCL reaches only ~x of OpenMP"),
                   0.5, rel_for("minibude", ParMode::MpiSyclFlat) /
                            rel_for("minibude", ParMode::MpiOmp)});
-  bench::emit(cli, claims);
+  run.emit(claims);
+  run.record_value("model.mgcfd.vec_speedup", "x", benchjson::Better::Higher,
+                   rel_for("mgcfd", ParMode::MpiVec));
+  run.record_value("model.acoustic.omp_speedup", "x",
+                   benchjson::Better::Higher,
+                   rel_for("acoustic", ParMode::MpiOmp));
+  run.finish();
   return 0;
 }

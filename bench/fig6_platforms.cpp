@@ -10,6 +10,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig6_platforms");
 
   Table t("Figure 6 — best modeled runtime (s) and winning configuration");
   t.set_columns({{"application", 0},
@@ -25,8 +26,10 @@ int main(int argc, char** argv) {
                bench::best_time(a, sim::icx8360y()),
                bench::best_time(a, sim::milanx()),
                bench::best_time(a, sim::a100())});
+    run.record_value("model." + a.id + ".max9480.best_s", "s",
+                     benchjson::Better::Lower, tm);
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   // Speedup table under the runtime chart, as in the paper.
   struct PaperRow {
@@ -58,7 +61,7 @@ int main(int argc, char** argv) {
                 row.vs_amd > 0 ? Cell(row.vs_amd) : Cell(std::monostate{}),
                 tm / bench::best_time(a, sim::a100())});
   }
-  bench::emit(cli, sp);
+  run.emit(sp);
 
   // §5 headline: miniBUDE absolute compute rate on the MAX CPU.
   const AppInfo& bude = app_by_id("minibude");
@@ -68,6 +71,9 @@ int main(int argc, char** argv) {
   bud.set_columns({{"quantity", 0}, {"paper", 2}, {"model", 2}});
   bud.add_row({std::string("achieved TFLOP/s (OneAPI, ZMM high, no HT)"),
                6.0, p.achieved_flops() / 1e12});
-  bench::emit(cli, bud);
+  run.emit(bud);
+  run.record_value("model.minibude.max9480.tflops", "TFLOP/s",
+                   benchjson::Better::Higher, p.achieved_flops() / 1e12);
+  run.finish();
   return 0;
 }

@@ -13,6 +13,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig7_mpi_overhead");
 
   Table t("Figure 7 — % of runtime in MPI (model)");
   std::vector<Column> cols = {{"application", 0}};
@@ -36,12 +37,14 @@ int main(int argc, char** argv) {
                                                         : ParMode::Mpi};
       Config omp = mpi;
       omp.par = ParMode::MpiOmp;
-      row.push_back(100.0 * pm.predict(a->profile, mpi).mpi_fraction());
-      row.push_back(100.0 * pm.predict(a->profile, omp).mpi_fraction());
+      const double f_mpi = 100.0 * pm.predict(a->profile, mpi).mpi_fraction();
+      const double f_omp = 100.0 * pm.predict(a->profile, omp).mpi_fraction();
+      row.emplace_back(std::in_place_type<double>, f_mpi);
+      row.emplace_back(std::in_place_type<double>, f_omp);
     }
     t.add_row(std::move(row));
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   // Aggregate claims.
   auto mean_improvement = [&](const sim::MachineModel& m) {
@@ -66,7 +69,10 @@ int main(int argc, char** argv) {
                   15.0, mean_improvement(sim::milanx())});
   claims.add_row({std::string("MPI->MPI+OpenMP overhead reduction, MAX"),
                   8.2, mean_improvement(sim::max9480())});
-  bench::emit(cli, claims);
+  run.emit(claims);
+  run.record_value("model.max9480.hybrid_gain_pct", "%",
+                   benchjson::Better::Higher,
+                   mean_improvement(sim::max9480()));
 
   // Measured SimMPI overheads (host execution, not the model): run
   // CloverLeaf 2D distributed and report the per-run maxima/sums of the
@@ -97,7 +103,10 @@ int main(int argc, char** argv) {
                       r.elapsed > 0 ? 100.0 * max_blocked / r.elapsed : 0.0,
                       static_cast<double>(msgs),
                       static_cast<double>(bytes) / 1e6});
+    run.record_value("host.clover2d.r" + std::to_string(ranks) + ".elapsed_s",
+                     "s", benchjson::Better::Lower, r.elapsed);
   }
-  bench::emit(cli, measured);
+  run.emit(measured);
+  run.finish();
   return 0;
 }

@@ -10,6 +10,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig8_effective_bandwidth");
 
   struct PaperFrac {
     const char* id;
@@ -45,8 +46,10 @@ int main(int argc, char** argv) {
                row.frac > 0 ? Cell(100.0 * row.frac) : Cell(std::monostate{}),
                100.0 * pi.eff_bw() / sim::icx8360y().stream_triad_node,
                100.0 * pa.eff_bw() / sim::milanx().stream_triad_node});
+    run.record_value("model." + a.id + ".max9480.eff_gbs", "GB/s",
+                     benchjson::Better::Higher, pm.eff_bw() / kGB);
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   Table note("Figure 8 context — paper vs model ranges");
   note.set_columns({{"claim", 0}, {"paper", 0}, {"model", 0}});
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
                 std::string("75-85%"), std::string("see column above")});
   note.add_row({std::string("7V73X range on these apps"),
                 std::string("79-96%"), std::string("see column above")});
-  bench::emit(cli, note);
+  run.emit(note);
+  run.finish();
   return 0;
 }

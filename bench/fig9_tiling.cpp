@@ -12,6 +12,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "fig9_tiling");
   const AppProfile& prof = app_by_id("cloverleaf2d").profile;
 
   struct PaperGain {
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
     if (row.m->id == "max9480") tiled_max = t1;
     t.add_row({row.m->name, t0, t1, t0 / t1, row.gain,
                sim::BandwidthModel(*row.m).cache_to_mem_ratio()});
+    run.record_value("model." + row.m->id + ".tiling_speedup", "x",
+                     benchjson::Better::Higher, t0 / t1);
   }
   const double t_gpu =
       PerfModel(sim::a100())
@@ -46,14 +49,14 @@ int main(int argc, char** argv) {
   t.add_row({sim::a100().name + " (untiled reference)", t_gpu,
              std::monostate{}, std::monostate{}, std::monostate{},
              std::monostate{}});
-  bench::emit(cli, t);
+  run.emit(t);
 
   Table headline("Figure 9 headline — paper vs model");
   headline.set_columns({{"claim", 0}, {"paper", 2}, {"model", 2}});
   headline.add_row(
       {std::string("tiled MAX 9480 vs A100 (x faster)"), 1.5,
        t_gpu / tiled_max});
-  bench::emit(cli, headline);
+  run.emit(headline);
 
   // Real tiling executor on this host: correctness + measured gain.
   apps::Options o;
@@ -72,7 +75,12 @@ int main(int argc, char** argv) {
   host.add_row({std::string("checksums equal (1 = yes)"),
                 eager.checksum == tiled.checksum ? 1.0 : 0.0,
                 std::monostate{}});
-  bench::emit(cli, host);
+  run.emit(host);
+  run.record_value("host.clover2d.eager_s", "s", benchjson::Better::Lower,
+                   eager.elapsed);
+  run.record_value("host.clover2d.tiled_s", "s", benchjson::Better::Lower,
+                   tiled.elapsed);
+  run.finish();
   if (!cli.get_bool("csv", false))
     std::cout << "Note: on a host with few cores these kernels are\n"
                  "compute-bound, so the tiling executor demonstrates\n"

@@ -7,42 +7,31 @@
 //   * the inactive on_send/on_step hook exceeds its 5 ns budget, or
 //   * the hooked send/recv round-trip regresses by more than 25% against
 //     the same loop re-measured with the plan cleared.
+// Timing/recording goes through bench::Runner (same warmup/repetition
+// policy and median statistic as every other gb_* bench); --bench-json
+// emits the BENCH_*.json trajectory.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_common.hpp"
 #include "common/fault.hpp"
-#include "common/timer.hpp"
 #include "par/simmpi.hpp"
 
 using namespace bwlab;
 
 namespace {
 
-/// Mean cost per iteration of `body`, in ns, best of `reps` runs.
-template <class F>
-double best_ns_per_iter(std::uint64_t iters, int reps, F&& body) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    for (std::uint64_t i = 0; i < iters; ++i) body();
-    const double ns = t.elapsed() * 1e9 / static_cast<double>(iters);
-    if (ns < best) best = ns;
-  }
-  return best;
-}
-
-/// Round-trip cost of a 2-rank ping-pong, ns per message.
-double pingpong_ns(int msgs_per_rank) {
-  Timer t;
+/// One 2-rank ping-pong pass: `msgs` round trips per rank.
+void pingpong(int msgs) {
   par::RunOptions ro;
   ro.watchdog_grace_ms = 0;  // measure the raw message path
   par::run_ranks(
       2,
-      [msgs_per_rank](par::Comm& c) {
+      [msgs](par::Comm& c) {
         double payload[8] = {};
         const int peer = 1 - c.rank();
-        for (int i = 0; i < msgs_per_rank; ++i) {
+        for (int i = 0; i < msgs; ++i) {
           if (c.rank() == 0) {
             c.send(peer, 1, payload, sizeof payload);
             c.recv(peer, 2, payload, sizeof payload);
@@ -53,33 +42,45 @@ double pingpong_ns(int msgs_per_rank) {
         }
       },
       ro);
-  return t.elapsed() * 1e9 / (2.0 * msgs_per_rank);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  bench::Runner run(cli, "gb_fault_overhead");
+
   constexpr std::uint64_t kIters = 20'000'000;
-  constexpr int kReps = 5;
   constexpr double kHookBudgetNs = 5.0;
   constexpr double kSendRegressionBudget = 1.25;
   constexpr int kMsgs = 20'000;
 
   fault::clear();
   double payload[8] = {};
-  const double send_hook_ns = best_ns_per_iter(kIters, kReps, [&payload] {
-    if (fault::active())
-      (void)fault::on_send(0, 1, 0, payload, sizeof payload);
-  });
-  const double step_hook_ns = best_ns_per_iter(kIters, kReps, [] {
-    fault::on_step(0, 0);
-  });
+  const double send_hook_ns =
+      run.time_ns_per_iter("hook.on_send", kIters, [&payload] {
+        if (fault::active())
+          (void)fault::on_send(0, 1, 0, payload, sizeof payload);
+      });
+  const double step_hook_ns =
+      run.time_ns_per_iter("hook.on_step", kIters, [] {
+        fault::on_step(0, 0);
+      });
 
-  const double base_ns = pingpong_ns(kMsgs);
+  // Per-message cost: each measured repetition is one full ping-pong run
+  // (2 * kMsgs messages), converted to ns per message below.
+  std::vector<double> base_s = run.measure(1, [] { pingpong(kMsgs); });
+  for (double& s : base_s) s = s * 1e9 / (2.0 * kMsgs);
+  const double base_ns = run.record("pingpong.no_plan", "ns",
+                                    benchjson::Better::Lower, base_s);
+
   // Inert plan: entries target rank 3 of a 2-rank run, so the hook takes
   // its slow path bookkeeping decision but never fires.
   fault::install(fault::FaultPlan::parse("drop:rank=3,msg=0", 7));
-  const double hooked_ns = pingpong_ns(kMsgs);
+  std::vector<double> hooked_s = run.measure(1, [] { pingpong(kMsgs); });
+  for (double& s : hooked_s) s = s * 1e9 / (2.0 * kMsgs);
+  const double hooked_ns = run.record("pingpong.inert_plan", "ns",
+                                      benchjson::Better::Lower, hooked_s);
   fault::clear();
 
   std::printf("fault on_send hook, no plan: %.3f ns (budget %.1f ns)\n",
@@ -89,6 +90,7 @@ int main() {
   std::printf("send/recv ping-pong: %.1f ns no plan, %.1f ns inert plan "
               "(budget %.0f%%)\n",
               base_ns, hooked_ns, (kSendRegressionBudget - 1.0) * 100.0);
+  run.finish();
 
   bool ok = true;
   if (send_hook_ns >= kHookBudgetNs || step_hook_ns >= kHookBudgetNs) {
@@ -97,7 +99,7 @@ int main() {
     ok = false;
   }
   // Thread scheduling makes single ping-pong timings noisy; compare
-  // best-of to best-of with a generous bound — this is a regression trip
+  // median to median with a generous bound — this is a regression trip
   // wire for accidental locking on the no-fault path, not a profiler.
   if (hooked_ns > base_ns * kSendRegressionBudget + 200.0) {
     std::fprintf(stderr,

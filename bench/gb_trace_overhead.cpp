@@ -2,57 +2,46 @@
 // makes it safe to compile TraceSpan into every par_loop, halo exchange,
 // tile and comm primitive is that a would-be span with tracing OFF costs a
 // single relaxed atomic load plus a branch — this binary measures it and
-// FAILS (non-zero exit) if the mean cost exceeds 5 ns, so the guard can
-// run as a ctest. An enabled-path measurement is printed for reference but
-// not asserted (it buffers real events).
+// FAILS (non-zero exit) if the median cost exceeds 5 ns, so the guard can
+// run as a ctest. An enabled-path measurement is recorded for reference
+// but not asserted (it buffers real events). Timing/recording goes
+// through bench::Runner: --bench-json emits the BENCH_*.json trajectory.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/timer.hpp"
+#include "bench/bench_common.hpp"
 #include "common/trace.hpp"
 
 using namespace bwlab;
 
-namespace {
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  bench::Runner run(cli, "gb_trace_overhead");
 
-/// Mean cost per iteration of `body`, in ns, best of `reps` runs.
-template <class F>
-double best_ns_per_iter(std::uint64_t iters, int reps, F&& body) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    Timer t;
-    for (std::uint64_t i = 0; i < iters; ++i) body();
-    const double ns = t.elapsed() * 1e9 / static_cast<double>(iters);
-    if (ns < best) best = ns;
-  }
-  return best;
-}
-
-}  // namespace
-
-int main() {
   constexpr std::uint64_t kIters = 20'000'000;
-  constexpr int kReps = 5;
   constexpr double kBudgetNs = 5.0;
 
   trace::disable();
-  const double disabled_ns = best_ns_per_iter(kIters, kReps, [] {
-    trace::TraceSpan span(trace::Cat::Kernel, "bench.noop");
-  });
+  const double disabled_ns =
+      run.time_ns_per_iter("span.disabled", kIters, [] {
+        trace::TraceSpan span(trace::Cat::Kernel, "bench.noop");
+      });
 
   // Enabled path, small buffer so steady state is the drop path (no
   // unbounded memory); representative of worst-case tracing cost.
   trace::enable(/*max_events_per_thread=*/1 << 12);
-  const double enabled_ns = best_ns_per_iter(kIters / 10, kReps, [] {
-    trace::TraceSpan span(trace::Cat::Kernel, "bench.noop");
-  });
+  const double enabled_ns =
+      run.time_ns_per_iter("span.enabled", kIters / 10, [] {
+        trace::TraceSpan span(trace::Cat::Kernel, "bench.noop");
+      });
   trace::disable();
   trace::reset();
 
   std::printf("trace span, disabled: %.3f ns (budget %.1f ns)\n", disabled_ns,
               kBudgetNs);
   std::printf("trace span, enabled:  %.3f ns (reference only)\n", enabled_ns);
+  run.finish();
 
   if (disabled_ns >= kBudgetNs) {
     std::fprintf(stderr,

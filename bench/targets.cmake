@@ -29,12 +29,15 @@ foreach(b ${BWLAB_FIG_BENCHES})
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
 
+# Host-measurement lanes on the shared bench::Runner harness: the real
+# BabelStream kernels and the pattern micro-kernels. Both emit the
+# machine-readable BENCH_*.json trajectory with --bench-json.
 foreach(b gb_host_stream gb_host_kernels)
   add_executable(${b} ${CMAKE_SOURCE_DIR}/bench/${b}.cpp)
   target_include_directories(${b} PRIVATE ${CMAKE_SOURCE_DIR})
   target_link_libraries(${b}
-    PRIVATE bwlab_micro bwlab_op2 bwlab_ops bwlab_par bwlab_common
-            bwlab_warnings benchmark::benchmark)
+    PRIVATE bwlab_core bwlab_apps bwlab_micro bwlab_op2 bwlab_ops bwlab_sim
+            bwlab_par bwlab_common bwlab_warnings)
   set_target_properties(${b} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
@@ -44,7 +47,8 @@ endforeach()
 add_executable(gb_trace_overhead ${CMAKE_SOURCE_DIR}/bench/gb_trace_overhead.cpp)
 target_include_directories(gb_trace_overhead PRIVATE ${CMAKE_SOURCE_DIR})
 target_link_libraries(gb_trace_overhead
-  PRIVATE bwlab_common bwlab_warnings)
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
 set_target_properties(gb_trace_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
@@ -54,6 +58,17 @@ set_target_properties(gb_trace_overhead PROPERTIES
 add_executable(gb_fault_overhead ${CMAKE_SOURCE_DIR}/bench/gb_fault_overhead.cpp)
 target_include_directories(gb_fault_overhead PRIVATE ${CMAKE_SOURCE_DIR})
 target_link_libraries(gb_fault_overhead
-  PRIVATE bwlab_par bwlab_common bwlab_warnings)
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
 set_target_properties(gb_fault_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# The self-checking budget benches double as ctest entries under the
+# "bench" label (`ctest -L bench`), so the perf trip wires run with the
+# suite instead of needing a separate CI step.
+if(BWLAB_BUILD_TESTS)
+  foreach(b gb_trace_overhead gb_fault_overhead)
+    add_test(NAME ${b} COMMAND ${b})
+    set_tests_properties(${b} PROPERTIES TIMEOUT 120 LABELS bench)
+  endforeach()
+endif()

@@ -8,6 +8,7 @@ using namespace bwlab::core;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "tbl_minibude_configs");
   const AppProfile& p = app_by_id("minibude").profile;
   PerfModel pm(sim::max9480());
   const Config best{Compiler::OneAPI, Zmm::High, false, ParMode::MpiOmp};
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
     const Prediction pred = pm.predict(p, c);
     t.add_row({c.label(), pred.total(), pred.achieved_flops() / 1e12});
   }
-  bench::emit(cli, t);
+  run.emit(t);
 
   Config zmm_dflt = best;
   zmm_dflt.zmm = Zmm::Default;
@@ -48,6 +49,13 @@ int main(int argc, char** argv) {
            classic += c.compiler == Compiler::Classic ? 1 : 0;
          return classic;
        }()});
-  bench::emit(cli, claims);
+  run.emit(claims);
+  run.record_value("model.minibude.best_tflops", "TFLOP/s",
+                   benchjson::Better::Higher,
+                   pm.predict(p, best).achieved_flops() / 1e12);
+  run.record_value("model.minibude.zmm_gain", "x", benchjson::Better::Higher,
+                   pm.predict(p, zmm_dflt).total() /
+                       pm.predict(p, best).total());
+  run.finish();
   return 0;
 }

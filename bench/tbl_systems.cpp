@@ -8,6 +8,7 @@ using namespace bwlab;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  bench::Runner run(cli, "tbl_systems");
   Table t("Section 2 — modeled platform summary");
   t.set_columns({{"quantity", 0},
                  {"MAX 9480", 1},
@@ -52,6 +53,14 @@ int main(int argc, char** argv) {
       [](const sim::MachineModel& m) {
         return sim::BandwidthModel(m).cache_to_mem_ratio();
       });
-  bench::emit(cli, t);
+  run.emit(t);
+  for (const sim::MachineModel* m :
+       {&sim::max9480(), &sim::icx8360y(), &sim::milanx()}) {
+    run.record_value("model." + m->id + ".triad_gbs", "GB/s",
+                     benchjson::Better::Higher, m->stream_triad_node / kGB);
+    run.record_value("model." + m->id + ".flop_per_byte", "flop/B",
+                     benchjson::Better::Higher, m->flop_per_byte());
+  }
+  run.finish();
   return 0;
 }

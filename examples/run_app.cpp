@@ -7,7 +7,12 @@
 //                   on one track per SimMPI rank and ThreadPool worker.
 //   --metrics=FILE  MetricsRegistry JSON (counters / gauges / histograms).
 //   --report=FILE   machine-readable run summary (per-loop records,
-//                   exchanges, Figure 8 effective bandwidths).
+//                   exchanges, Figure 8 effective bandwidths, and the
+//                   roofline attribution: measured vs model-predicted
+//                   seconds per loop, roof fraction, drift flags).
+//   --machine=ID    machine model the attribution predicts against
+//                   (default max9480); --attr-tol=X sets the drift
+//                   tolerance (default 0.25).
 //
 // Examples:
 //   ./build/examples/run_app --app=clover2d --n=64 --iters=3 --ranks=2
@@ -39,6 +44,7 @@
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "core/attribution.hpp"
 #include "core/config.hpp"
 #include "core/report.hpp"
 
@@ -49,6 +55,19 @@ namespace {
 constexpr const char* kApps =
     "clover2d clover3d acoustic miniweather opensbli_sa opensbli_sn "
     "mgcfd volna minibude";
+
+/// Long-form aliases (the profile/registry ids) for the short app names.
+std::string canonical_app(const std::string& app) {
+  if (app == "cloverleaf2d") return "clover2d";
+  if (app == "cloverleaf3d") return "clover3d";
+  return app;
+}
+
+core::AppClass app_class(const std::string& app) {
+  if (app == "mgcfd" || app == "volna") return core::AppClass::Unstructured;
+  if (app == "minibude") return core::AppClass::ComputeBound;
+  return core::AppClass::Structured;
+}
 
 apps::Result dispatch(const std::string& app, const apps::Options& opt) {
   if (app == "clover2d") return apps::clover2d::run(opt);
@@ -71,16 +90,19 @@ apps::Result dispatch(const std::string& app, const apps::Options& opt) {
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   if (cli.has("help")) {
-    std::cout << "usage: " << cli.program() << " --app=NAME [options]\n"
+    std::cout << "usage: " << cli.program() << " [APP | --app=NAME] [options]\n"
               << "  apps: " << kApps << "\n"
               << "  --n=N --iters=I --ranks=R --threads=T --tiled\n"
               << "  --tile-size=S --mode=0|1|2 --scenario=K --seed=S\n"
               << "  --trace=FILE --metrics=FILE --report=FILE --summary\n"
+              << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
               << "  --max-restarts=R --nan-guard=0|1|2\n";
     return 0;
   }
-  const std::string app = cli.get("app", "clover2d");
+  const std::string app = canonical_app(
+      cli.positional().empty() ? cli.get("app", "clover2d")
+                               : cli.positional().front());
   apps::Options opt;
   opt.n = cli.get_int("n", 32);
   opt.iterations = static_cast<int>(cli.get_int("iters", 3));
@@ -127,9 +149,17 @@ int main(int argc, char** argv) {
     MetricsRegistry::global().write_json_file(obs.metrics_path);
     std::cout << "metrics written to " << obs.metrics_path << "\n";
   }
+  // Roofline attribution: the measured loop records vs the chosen
+  // machine model's predictions at the run's own scale.
+  const sim::MachineModel& machine =
+      sim::machine_by_id(cli.get("machine", "max9480"));
+  const core::AttributionReport attr = core::attribute(
+      result.instr, machine,
+      core::default_config(machine, app_class(app)),
+      cli.get_double("attr-tol", 0.25));
   if (!obs.report_path.empty()) {
     core::write_run_report_json_file(obs.report_path, result.instr,
-                                     &MetricsRegistry::global());
+                                     &MetricsRegistry::global(), &attr);
     std::cout << "report written to " << obs.report_path << "\n";
   }
 
@@ -166,6 +196,8 @@ int main(int argc, char** argv) {
     core::top_loops_table(result.instr).print(std::cout);
     std::cout << "\n";
     core::effective_bw_table(result.instr).print(std::cout);
+    std::cout << "\n";
+    core::attribution_table(attr).print(std::cout);
   }
   return 0;
 }

@@ -72,6 +72,19 @@ inline double median(std::vector<double> v) {
   return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+/// Median absolute deviation, scaled by the normal-consistency factor
+/// 1.4826 so it estimates the standard deviation for Gaussian noise —
+/// the robust spread the bwbench regression gate builds its noise
+/// intervals from (a single outlier repetition cannot widen it the way
+/// it inflates a stddev).
+inline double mad(const std::vector<double>& v, double scale = 1.4826) {
+  const double m = median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::abs(x - m));
+  return scale * median(std::move(dev));
+}
+
 /// Relative error |a-b| / |b|; used by tests comparing model vs paper.
 inline double rel_err(double a, double b) {
   return std::abs(a - b) / std::abs(b);

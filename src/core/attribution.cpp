@@ -1,0 +1,119 @@
+#include "core/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/perf_model.hpp"
+#include "core/profile.hpp"
+
+namespace bwlab::core {
+
+namespace {
+
+bool is_indirect(Pattern p) {
+  return p == Pattern::Indirect || p == Pattern::GatherScatter;
+}
+
+/// Pseudo-profile carrying the run's own quantities (iterations = 1,
+/// per-iter totals = run totals) so PerfModel's per-kernel roofs can be
+/// evaluated at the measured scale.
+AppProfile profile_at_run_scale(const Instrumentation& instr) {
+  AppProfile p;
+  p.app_id = "measured-run";
+  p.iterations = 1;
+  double working_set = 0;
+  for (const LoopRecord* r : instr.loops_in_order()) {
+    if (r->calls == 0) continue;
+    KernelProfile k;
+    k.name = r->name;
+    k.calls_per_iter = static_cast<double>(r->calls);
+    k.points_per_call = static_cast<double>(r->points) /
+                        static_cast<double>(r->calls);
+    k.bytes_per_point = r->bytes_per_point();
+    k.flops_per_point = r->flops_per_point();
+    k.pattern = r->pattern;
+    k.max_radius = r->max_radius;
+    p.kernels.push_back(std::move(k));
+
+    p.ndims = std::max(p.ndims, r->ndims);
+    if (is_indirect(r->pattern)) p.structured = false;
+    // One sweep's traffic approximates the resident field data (each
+    // field is touched about once per pass over the grid).
+    working_set = std::max(
+        working_set, static_cast<double>(r->bytes) /
+                         static_cast<double>(r->calls));
+  }
+  p.working_set_bytes = working_set;
+  return p;
+}
+
+}  // namespace
+
+AttributionReport attribute(const Instrumentation& instr,
+                            const sim::MachineModel& m, const Config& cfg,
+                            double tolerance) {
+  AttributionReport out;
+  out.machine_id = m.id;
+  out.config_label = cfg.label();
+  out.tolerance = tolerance;
+
+  const AppProfile p = profile_at_run_scale(instr);
+  const PerfModel pm(m);
+
+  std::size_t ki = 0;
+  for (const LoopRecord* r : instr.loops_in_order()) {
+    LoopAttribution a;
+    a.name = r->name;
+    a.calls = r->calls;
+    a.measured_s = r->host_seconds;
+    if (r->calls > 0) {
+      const KernelProfile& k = p.kernels[ki++];
+      const double bytes = static_cast<double>(r->bytes);
+      const double bw_roof = pm.kernel_bw(p, k, cfg);
+      const double flop_roof = pm.kernel_flop_rate(p, k, cfg);
+      a.mem_roof_s = bw_roof > 0 ? bytes / bw_roof : 0;
+      a.comp_roof_s = flop_roof > 0 ? r->flops / flop_roof : 0;
+      a.memory_bound = a.mem_roof_s >= a.comp_roof_s;
+      a.predicted_s = std::max(a.mem_roof_s, a.comp_roof_s);
+      if (a.measured_s > 0) {
+        a.roof_fraction = a.memory_bound
+                              ? r->effective_bw() / bw_roof
+                              : (r->flops / a.measured_s) / flop_roof;
+      }
+      if (a.predicted_s > 0 && a.measured_s > 0) {
+        a.drift = a.measured_s / a.predicted_s - 1.0;
+        a.drifted = std::abs(a.drift) > tolerance;
+      }
+    }
+    out.measured_total += a.measured_s;
+    out.predicted_total += a.predicted_s;
+    if (a.drifted) ++out.drifted_count;
+    out.loops.push_back(std::move(a));
+  }
+  return out;
+}
+
+Table attribution_table(const AttributionReport& r) {
+  Table t("Roofline attribution — measured vs " + r.machine_id + " model (" +
+          r.config_label + ", drift tolerance " +
+          std::to_string(r.tolerance) + ")");
+  t.set_columns({{"loop", 0},
+                 {"measured s", 5},
+                 {"predicted s", 5},
+                 {"roof", 0},
+                 {"% of roof", 1},
+                 {"drift %", 1},
+                 {"flag", 0}});
+  for (const LoopAttribution& a : r.loops)
+    t.add_row({a.name, a.measured_s, a.predicted_s,
+               std::string(a.memory_bound ? "memory" : "compute"),
+               100.0 * a.roof_fraction, 100.0 * a.drift,
+               std::string(a.drifted ? "DRIFT" : "")});
+  t.add_separator();
+  t.add_row({std::string("total"), r.measured_total, r.predicted_total,
+             std::monostate{}, std::monostate{}, std::monostate{},
+             std::string(std::to_string(r.drifted_count) + " drifted")});
+  return t;
+}
+
+}  // namespace bwlab::core

@@ -1,0 +1,61 @@
+// Roofline attribution: joins the MEASURED per-loop records of an
+// instrumented run (common/instrument.hpp) against the machine model's
+// PREDICTED roofline times for the same loops — closing the loop the
+// measurement/model split leaves open. For every loop it reports measured
+// vs predicted seconds, which roof binds (memory or compute), the
+// fraction of that roof the measured run achieved, and a drift flag when
+// |measured/predicted - 1| exceeds a tolerance, so a mis-calibrated
+// machine model (or a genuinely regressed kernel) is visible in the run
+// report instead of silently absorbed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/instrument.hpp"
+#include "common/table.hpp"
+#include "core/config.hpp"
+
+namespace bwlab::core {
+
+/// One loop's measured-vs-model comparison.
+struct LoopAttribution {
+  std::string name;
+  count_t calls = 0;
+  seconds_t measured_s = 0;   ///< host time from the instrumented run
+  seconds_t predicted_s = 0;  ///< model roofline time, max(mem, comp)
+  seconds_t mem_roof_s = 0;   ///< time at the model's bandwidth roof
+  seconds_t comp_roof_s = 0;  ///< time at the model's compute roof
+  bool memory_bound = false;  ///< which roof binds in the model
+  /// Measured rate / binding-roof rate: effective bandwidth over the
+  /// model's bandwidth roof for memory-bound loops, achieved flop rate
+  /// over the flop roof otherwise. > 1 means the run beat the model.
+  double roof_fraction = 0;
+  /// measured/predicted - 1 (0 = perfect agreement, 1 = 2x slower than
+  /// predicted, -0.5 = 2x faster).
+  double drift = 0;
+  bool drifted = false;  ///< |drift| > tolerance
+};
+
+struct AttributionReport {
+  std::string machine_id;     ///< model the predictions come from
+  std::string config_label;   ///< configuration the model assumed
+  double tolerance = 0;       ///< drift flag threshold
+  seconds_t measured_total = 0;
+  seconds_t predicted_total = 0;
+  int drifted_count = 0;
+  std::vector<LoopAttribution> loops;  ///< first-execution order
+};
+
+/// Attributes every recorded loop against `m`'s roofline at the RUN's
+/// OWN scale (no paper-size scaling: the model is evaluated on exactly
+/// the points/bytes/flops the instrumented run executed). Loops that
+/// recorded no time are included with measured_s = 0 and never flagged.
+AttributionReport attribute(const Instrumentation& instr,
+                            const sim::MachineModel& m, const Config& cfg,
+                            double tolerance = 0.25);
+
+/// Per-loop measured/predicted/roof table for console output.
+Table attribution_table(const AttributionReport& r);
+
+}  // namespace bwlab::core

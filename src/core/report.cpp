@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/pattern.hpp"
+#include "core/attribution.hpp"
 
 namespace bwlab::core {
 
@@ -97,7 +98,8 @@ Table effective_bw_table(const Instrumentation& instr) {
 }
 
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
-                           const MetricsRegistry* metrics) {
+                           const MetricsRegistry* metrics,
+                           const AttributionReport* attr) {
   os << "{\n  \"loops\": [";
   bool first = true;
   for (const LoopRecord* l : instr.loops_in_order()) {
@@ -125,6 +127,32 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
   }
   os << (first ? "]" : "\n  ]") << ",\n  \"total_loop_seconds\": "
      << instr.total_loop_seconds();
+  if (attr != nullptr) {
+    os << ",\n  \"attribution\": {\n    \"machine\": \"";
+    write_json_escaped(os, attr->machine_id);
+    os << "\", \"config\": \"";
+    write_json_escaped(os, attr->config_label);
+    os << "\", \"tolerance\": " << attr->tolerance
+       << ",\n    \"measured_total_seconds\": " << attr->measured_total
+       << ", \"predicted_total_seconds\": " << attr->predicted_total
+       << ", \"drifted_count\": " << attr->drifted_count
+       << ",\n    \"loops\": [";
+    bool afirst = true;
+    for (const LoopAttribution& a : attr->loops) {
+      os << (afirst ? "\n" : ",\n") << "      {\"name\": \"";
+      afirst = false;
+      write_json_escaped(os, a.name);
+      os << "\", \"measured_seconds\": " << a.measured_s
+         << ", \"predicted_seconds\": " << a.predicted_s
+         << ", \"mem_roof_seconds\": " << a.mem_roof_s
+         << ", \"comp_roof_seconds\": " << a.comp_roof_s
+         << ", \"memory_bound\": " << (a.memory_bound ? "true" : "false")
+         << ", \"roof_fraction\": " << a.roof_fraction
+         << ", \"drift\": " << a.drift
+         << ", \"drifted\": " << (a.drifted ? "true" : "false") << "}";
+    }
+    os << (afirst ? "]" : "\n    ]") << "\n  }";
+  }
   if (metrics != nullptr) {
     os << ",\n  \"metrics\": ";
     metrics->write_json(os);
@@ -134,10 +162,11 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
 
 void write_run_report_json_file(const std::string& path,
                                 const Instrumentation& instr,
-                                const MetricsRegistry* metrics) {
+                                const MetricsRegistry* metrics,
+                                const AttributionReport* attr) {
   std::ofstream os(path);
   BWLAB_REQUIRE(os.good(), "cannot open report output file '" << path << "'");
-  write_run_report_json(os, instr, metrics);
+  write_run_report_json(os, instr, metrics, attr);
   BWLAB_REQUIRE(os.good(), "failed writing report to '" << path << "'");
 }
 

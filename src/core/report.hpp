@@ -47,14 +47,19 @@ Table top_loops_table(const Instrumentation& instr, std::size_t top_n = 10);
 /// kernel host seconds, comm excluded), in first-execution order.
 Table effective_bw_table(const Instrumentation& instr);
 
+struct AttributionReport;
+
 /// Machine-readable run report: every loop record, every exchange record,
-/// total loop seconds, and (if given) a snapshot of `metrics`.
+/// total loop seconds, and (if given) a snapshot of `metrics` and the
+/// per-loop roofline attribution (core/attribution.hpp).
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
-                           const MetricsRegistry* metrics = nullptr);
+                           const MetricsRegistry* metrics = nullptr,
+                           const AttributionReport* attr = nullptr);
 
 /// write_run_report_json to `path`; throws bwlab::Error if unwritable.
 void write_run_report_json_file(const std::string& path,
                                 const Instrumentation& instr,
-                                const MetricsRegistry* metrics = nullptr);
+                                const MetricsRegistry* metrics = nullptr,
+                                const AttributionReport* attr = nullptr);
 
 }  // namespace bwlab::core
