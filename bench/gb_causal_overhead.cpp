@@ -1,0 +1,76 @@
+// Microbenchmark of the bwcausal instrumentation's disabled fast path.
+// The causal layer adds two kinds of hot-path sites to SimMPI: comm spans
+// carrying CommArgs correlation ids, and flow_start/flow_finish events at
+// the delivery/collection points. Both must preserve the bwtrace
+// contract — with tracing OFF each costs a single relaxed atomic load
+// plus a branch (the CommArgs aggregate and the flow id must not even be
+// read). This binary measures the combined send-side pattern (args span +
+// flow_start) and FAILS if the median cost exceeds the same 5 ns budget
+// gb_trace_overhead enforces, so the guard runs under `ctest -L bench`.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+#include "common/trace.hpp"
+
+using namespace bwlab;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  bench::Runner run(cli, "gb_causal_overhead");
+
+  constexpr std::uint64_t kIters = 20'000'000;
+  constexpr double kBudgetNs = 5.0;
+
+  trace::disable();
+  const double span_args_ns =
+      run.time_ns_per_iter("span_args.disabled", kIters, [] {
+        trace::TraceSpan span(trace::Cat::Comm, "bench.send", {},
+                              trace::CommArgs{1, 7, 0, 800});
+      });
+  const double flow_ns = run.time_ns_per_iter("flow.disabled", kIters, [] {
+    trace::flow_start(trace::flow_id(0, 1, 7, 0));
+  });
+  const double combined_ns =
+      run.time_ns_per_iter("send_site.disabled", kIters, [] {
+        trace::TraceSpan span(trace::Cat::Comm, "bench.send", {},
+                              trace::CommArgs{1, 7, 0, 800});
+        trace::flow_start(trace::flow_id(0, 1, 7, 0));
+      });
+
+  // Enabled path for reference only (buffers real events; not asserted).
+  trace::enable(/*max_events_per_thread=*/1 << 12);
+  const double enabled_ns =
+      run.time_ns_per_iter("send_site.enabled", kIters / 10, [] {
+        trace::TraceSpan span(trace::Cat::Comm, "bench.send", {},
+                              trace::CommArgs{1, 7, 0, 800});
+        trace::flow_start(trace::flow_id(0, 1, 7, 0));
+      });
+  trace::disable();
+  trace::reset();
+
+  std::printf("args span, disabled:   %.3f ns (budget %.1f ns)\n",
+              span_args_ns, kBudgetNs);
+  std::printf("flow start, disabled:  %.3f ns (budget %.1f ns)\n", flow_ns,
+              kBudgetNs);
+  std::printf("send site, disabled:   %.3f ns (budget %.1f ns)\n", combined_ns,
+              kBudgetNs);
+  std::printf("send site, enabled:    %.3f ns (reference only)\n", enabled_ns);
+  run.finish();
+
+  bool fail = false;
+  if (span_args_ns >= kBudgetNs) {
+    std::fprintf(stderr, "FAIL: disabled args-span %.3f ns >= %.1f ns budget\n",
+                 span_args_ns, kBudgetNs);
+    fail = true;
+  }
+  if (flow_ns >= kBudgetNs) {
+    std::fprintf(stderr, "FAIL: disabled flow event %.3f ns >= %.1f ns budget\n",
+                 flow_ns, kBudgetNs);
+    fail = true;
+  }
+  if (fail) return EXIT_FAILURE;
+  std::printf("PASS\n");
+  return 0;
+}

@@ -63,11 +63,21 @@ target_link_libraries(gb_fault_overhead
 set_target_properties(gb_fault_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# bwcausal hot-path guard: CommArgs spans and flow events with tracing
+# disabled must keep the same single-load-plus-branch cost.
+add_executable(gb_causal_overhead ${CMAKE_SOURCE_DIR}/bench/gb_causal_overhead.cpp)
+target_include_directories(gb_causal_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_causal_overhead
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
+set_target_properties(gb_causal_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # The self-checking budget benches double as ctest entries under the
 # "bench" label (`ctest -L bench`), so the perf trip wires run with the
 # suite instead of needing a separate CI step.
 if(BWLAB_BUILD_TESTS)
-  foreach(b gb_trace_overhead gb_fault_overhead)
+  foreach(b gb_trace_overhead gb_fault_overhead gb_causal_overhead)
     add_test(NAME ${b} COMMAND ${b})
     set_tests_properties(${b} PROPERTIES TIMEOUT 120 LABELS bench)
   endforeach()

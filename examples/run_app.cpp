@@ -45,6 +45,7 @@
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "core/attribution.hpp"
+#include "core/causal.hpp"
 #include "core/config.hpp"
 #include "core/report.hpp"
 
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
               << "  --n=N --iters=I --ranks=R --threads=T --tiled\n"
               << "  --tile-size=S --mode=0|1|2 --scenario=K --seed=S\n"
               << "  --trace=FILE --metrics=FILE --report=FILE --summary\n"
+              << "  --causal --trace-buffer=N\n"
               << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
               << "  --max-restarts=R --nan-guard=0|1|2\n";
@@ -119,7 +121,10 @@ int main(int argc, char** argv) {
   rob.install();
 
   const ObservabilityFlags obs = observability_flags(cli);
-  if (!obs.trace_path.empty()) trace::enable();
+  // --causal needs the event stream even when no trace file was asked for.
+  if (!obs.trace_path.empty() || obs.causal)
+    trace::enable(static_cast<std::size_t>(
+        cli.get_int("trace-buffer", 1LL << 20)));
 
   apps::Result result;
   try {
@@ -145,6 +150,13 @@ int main(int argc, char** argv) {
       std::cout << " (" << trace::dropped_events() << " events dropped)";
     std::cout << "\n";
   }
+  if ((!obs.trace_path.empty() || obs.causal) && trace::dropped_events() > 0)
+    std::cerr << "warning: trace buffers overflowed ("
+              << trace::dropped_events()
+              << " events dropped); timeline and causal analysis are "
+                 "truncated — raise --trace-buffer\n";
+  core::causal::Report causal_rep;
+  if (obs.causal) causal_rep = core::causal::analyze_live();
   if (!obs.metrics_path.empty()) {
     MetricsRegistry::global().write_json_file(obs.metrics_path);
     std::cout << "metrics written to " << obs.metrics_path << "\n";
@@ -159,7 +171,8 @@ int main(int argc, char** argv) {
       cli.get_double("attr-tol", 0.25));
   if (!obs.report_path.empty()) {
     core::write_run_report_json_file(obs.report_path, result.instr,
-                                     &MetricsRegistry::global(), &attr);
+                                     &MetricsRegistry::global(), &attr,
+                                     obs.causal ? &causal_rep : nullptr);
     std::cout << "report written to " << obs.report_path << "\n";
   }
 
@@ -198,6 +211,14 @@ int main(int argc, char** argv) {
     core::effective_bw_table(result.instr).print(std::cout);
     std::cout << "\n";
     core::attribution_table(attr).print(std::cout);
+  }
+  if (obs.causal) {
+    std::cout << "\n";
+    core::causal::wait_state_table(causal_rep).print(std::cout);
+    std::cout << "\n";
+    core::causal::comm_matrix_table(causal_rep).print(std::cout);
+    std::cout << "\n";
+    core::causal::critical_path_table(causal_rep).print(std::cout);
   }
   return 0;
 }

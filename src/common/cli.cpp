@@ -73,6 +73,7 @@ ObservabilityFlags observability_flags(const Cli& cli) {
   f.trace_path = cli.get("trace", "");
   f.metrics_path = cli.get("metrics", "");
   f.report_path = cli.get("report", "");
+  f.causal = cli.get_bool("causal", false);
   BWLAB_REQUIRE(!cli.has("trace") || !f.trace_path.empty(),
                 "--trace requires a file path (--trace=FILE)");
   BWLAB_REQUIRE(!cli.has("metrics") || !f.metrics_path.empty(),

@@ -48,10 +48,11 @@ struct ObservabilityFlags {
   std::string trace_path;    ///< Chrome trace-event JSON (--trace=FILE)
   std::string metrics_path;  ///< MetricsRegistry JSON (--metrics=FILE)
   std::string report_path;   ///< run-summary JSON (--report=FILE)
+  bool causal = false;       ///< bwcausal post-run analysis (--causal)
 
   bool any() const {
     return !trace_path.empty() || !metrics_path.empty() ||
-           !report_path.empty();
+           !report_path.empty() || causal;
   }
 };
 

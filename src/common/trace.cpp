@@ -17,13 +17,19 @@ namespace {
 
 constexpr std::size_t kNameCap = 48;  // truncation bound, keeps events POD
 
-enum class Ph : std::uint8_t { Begin, End, Counter };
+enum class Ph : std::uint8_t { Begin, End, Counter, FlowStart, FlowFinish };
 
 struct Event {
   std::uint64_t ts_ns = 0;
-  double value = 0;  // counters only
+  double value = 0;        // counters only
+  std::uint64_t flow = 0;  // flow events only
+  long long seq = -1;      // CommArgs
+  unsigned long long bytes = 0;
+  int peer = -1;
+  int tag = -1;
   Ph ph = Ph::Begin;
   Cat cat = Cat::Kernel;
+  bool has_args = false;
   char name[kNameCap] = {};
 };
 
@@ -84,20 +90,25 @@ ThreadBuffer& buf() {
   return *tls_buf;
 }
 
-void push(Ph ph, Cat cat, std::string_view a, std::string_view b,
-          double value) {
+/// Stamps and buffers `e` (name from a+b), counting a drop at capacity.
+void push(Event e, std::string_view a, std::string_view b) {
   ThreadBuffer& tb = buf();
   if (tb.events.size() >= reg().capacity.load(std::memory_order_relaxed)) {
     ++tb.dropped;
     return;
   }
+  copy_name(e, a, b);
+  e.ts_ns = now_ns();
+  tb.events.push_back(e);
+}
+
+void push(Ph ph, Cat cat, std::string_view a, std::string_view b,
+          double value) {
   Event e;
   e.ph = ph;
   e.cat = cat;
   e.value = value;
-  copy_name(e, a, b);
-  e.ts_ns = now_ns();
-  tb.events.push_back(e);
+  push(e, a, b);
 }
 
 /// Escapes the few JSON-hostile characters a span name could contain.
@@ -127,7 +138,11 @@ void write_event_line(std::ostream& os, const ThreadBuffer& tb,
          << R"(,"ts":)" << ts << R"(,"cat":")" << to_string(e.cat)
          << R"(","name":")";
       write_escaped(os, e.name);
-      os << R"("})";
+      os << '"';
+      if (e.has_args)
+        os << R"(,"args":{"peer":)" << e.peer << R"(,"tag":)" << e.tag
+           << R"(,"seq":)" << e.seq << R"(,"bytes":)" << e.bytes << "}";
+      os << "}";
       break;
     case Ph::End:
       os << R"({"ph":"E","pid":)" << tb.rank << R"(,"tid":)" << tb.tid
@@ -139,6 +154,20 @@ void write_event_line(std::ostream& os, const ThreadBuffer& tb,
       write_escaped(os, e.name);
       os << R"(","args":{"value":)" << e.value << "}}";
       break;
+    case Ph::FlowStart:
+    case Ph::FlowFinish: {
+      // Flow pair linking a send span to the matching recv/wait span;
+      // Perfetto draws the arrow between the enclosing slices. "bp":"e"
+      // binds the finish to the enclosing slice rather than the next one.
+      char id[32];
+      std::snprintf(id, sizeof id, "%llx",
+                    static_cast<unsigned long long>(e.flow));
+      os << R"({"ph":")" << (e.ph == Ph::FlowStart ? 's' : 'f') << '"'
+         << (e.ph == Ph::FlowFinish ? R"(,"bp":"e")" : "") << R"(,"pid":)"
+         << tb.rank << R"(,"tid":)" << tb.tid << R"(,"ts":)" << ts
+         << R"(,"cat":"comm","name":"msg","id":"0x)" << id << R"("})";
+      break;
+    }
   }
 }
 
@@ -163,9 +192,43 @@ void begin_span(Cat c, std::string_view name, std::string_view suffix) {
   push(Ph::Begin, c, name, suffix, 0.0);
 }
 
+void begin_span_args(Cat c, std::string_view name, std::string_view suffix,
+                     const CommArgs& args) {
+  Event e;
+  e.ph = Ph::Begin;
+  e.cat = c;
+  e.has_args = true;
+  e.peer = args.peer;
+  e.tag = args.tag;
+  e.seq = args.seq;
+  e.bytes = args.bytes;
+  push(e, name, suffix);
+}
+
 void end_span() { push(Ph::End, Cat::Kernel, {}, {}, 0.0); }
 
+void flow_event(bool start, std::uint64_t id) {
+  Event e;
+  e.ph = start ? Ph::FlowStart : Ph::FlowFinish;
+  e.cat = Cat::Comm;
+  e.flow = id;
+  push(e, {}, {});
+}
+
 }  // namespace detail
+
+std::uint64_t flow_id(int src, int dest, int tag, long long seq) {
+  // splitmix64-style mix of the four coordinates: equality is all the
+  // Chrome flow binding and the analyzer need, and 64 mixed bits make
+  // accidental collisions between distinct (src, dest, tag, seq) tuples
+  // negligible at any realistic message count.
+  std::uint64_t x = static_cast<std::uint64_t>(static_cast<std::uint32_t>(src));
+  x = x * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(dest);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL + static_cast<std::uint32_t>(tag);
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL +
+      static_cast<std::uint64_t>(seq);
+  return x ^ (x >> 31);
+}
 
 void enable(std::size_t max_events_per_thread) {
   Registry& r = reg();
@@ -215,6 +278,58 @@ std::uint64_t dropped_events() {
   std::uint64_t n = 0;
   for (const auto& b : r.buffers) n += b->dropped;
   return n;
+}
+
+std::vector<ThreadDrops> dropped_by_thread() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<ThreadDrops> out;
+  out.reserve(r.buffers.size());
+  for (const auto& b : r.buffers) {
+    if (b->events.empty() && b->dropped == 0) continue;  // untouched track
+    out.push_back(ThreadDrops{b->rank, b->tid, b->label, b->dropped});
+  }
+  return out;
+}
+
+std::vector<TrackView> snapshot() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const std::uint64_t epoch = r.epoch_ns.load(std::memory_order_relaxed);
+  std::vector<TrackView> out;
+  out.reserve(r.buffers.size());
+  for (const auto& b : r.buffers) {
+    if (b->events.empty()) continue;
+    TrackView t;
+    t.rank = b->rank;
+    t.tid = b->tid;
+    t.label = b->label;
+    t.dropped = b->dropped;
+    t.events.reserve(b->events.size());
+    for (const Event& e : b->events) {
+      EventView v;
+      v.ts_ns = e.ts_ns - std::min(epoch, e.ts_ns);
+      v.value = e.value;
+      v.flow = e.flow;
+      v.cat = e.cat;
+      v.has_args = e.has_args;
+      v.peer = e.peer;
+      v.tag = e.tag;
+      v.seq = e.seq;
+      v.bytes = e.bytes;
+      v.name = e.name;
+      switch (e.ph) {
+        case Ph::Begin: v.ph = 'B'; break;
+        case Ph::End: v.ph = 'E'; break;
+        case Ph::Counter: v.ph = 'C'; break;
+        case Ph::FlowStart: v.ph = 's'; break;
+        case Ph::FlowFinish: v.ph = 'f'; break;
+      }
+      t.events.push_back(std::move(v));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
 }
 
 void write_chrome_json(std::ostream& os) {

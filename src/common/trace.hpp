@@ -9,6 +9,14 @@
 // chrome://tracing) with one track per SimMPI rank (pid) and one per
 // ThreadPool worker (tid).
 //
+// bwcausal extends the event model with causal message links: comm spans
+// can carry (peer, tag, seq, bytes) correlation args, and delivered
+// messages emit flow events ('s' at the sender's delivery point, 'f'
+// inside the receiver's blocking recv/wait) sharing a flow_id(), so
+// Perfetto draws message arrows between rank tracks and the post-run
+// analyzer (core/causal.hpp) can match send→recv pairs. snapshot()
+// exposes the buffered events post-join for that in-process analysis.
+//
 // The tracer is compiled in but runtime-disabled by default. The disabled
 // fast path is a single relaxed atomic load plus one branch (asserted
 // < 5 ns by bench/gb_trace_overhead); enabling costs one buffered event
@@ -29,6 +37,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace bwlab::trace {
 
@@ -45,10 +54,25 @@ enum class Cat : std::uint8_t {
 
 const char* to_string(Cat c);
 
+/// Correlation args a communication span can carry (bwcausal): the peer
+/// rank, message tag, per-(peer, tag) delivered-message sequence number
+/// (collective sequence for barrier/allreduce) and payload bytes. A
+/// negative seq means "not correlated" (tracing was off at the matching
+/// counter bump); serialized as the Chrome "args" object.
+struct CommArgs {
+  int peer = -1;
+  int tag = -1;
+  long long seq = -1;
+  unsigned long long bytes = 0;
+};
+
 namespace detail {
 inline std::atomic<bool> g_on{false};
 void begin_span(Cat c, std::string_view name, std::string_view suffix);
+void begin_span_args(Cat c, std::string_view name, std::string_view suffix,
+                     const CommArgs& args);
 void end_span();
+void flow_event(bool start, std::uint64_t id);
 }  // namespace detail
 
 /// Single-branch fast path checked by every instrumentation site.
@@ -83,6 +107,72 @@ void counter(std::string_view name, double value);
 /// Events dropped across all threads since the last reset().
 std::uint64_t dropped_events();
 
+/// Per-thread drop accounting, surfaced in the run-report JSON so a
+/// truncated timeline is visible post-run (satellite of ISSUE 4). One
+/// entry per thread that ever recorded an event (including zero-drop
+/// threads, so the report shows which tracks exist).
+struct ThreadDrops {
+  int rank = 0;
+  int tid = 0;
+  std::string label;
+  std::uint64_t dropped = 0;
+};
+std::vector<ThreadDrops> dropped_by_thread();
+
+// --- Causal message links (bwcausal) -----------------------------------------
+
+/// Stable correlation id of the seq-th delivered (src, tag) message from
+/// `src` to `dest`: both endpoints can compute it independently from
+/// their own counters because SimMPI mailbox matching is FIFO per
+/// (src, tag). Used as the Chrome flow-event "id".
+std::uint64_t flow_id(int src, int dest, int tag, long long seq);
+
+/// Records a flow-start ('s') event on the caller's track: call at the
+/// sender's delivery point, inside the send span.
+inline void flow_start(std::uint64_t id) {
+  if (enabled()) detail::flow_event(true, id);
+}
+
+/// Records a flow-finish ('f', bound to the enclosing slice) event: call
+/// on the receiver once the message is collected, inside the recv/wait
+/// span.
+inline void flow_finish(std::uint64_t id) {
+  if (enabled()) detail::flow_event(false, id);
+}
+
+// --- Post-join snapshot (core/causal.hpp input) ------------------------------
+
+/// One buffered event, decoded. `ph` uses the Chrome phase letters:
+/// 'B' begin, 'E' end, 'C' counter, 's' flow start, 'f' flow finish.
+/// Timestamps are nanoseconds since the trace epoch (enable()/reset()).
+struct EventView {
+  std::uint64_t ts_ns = 0;
+  double value = 0;            ///< counters only
+  std::uint64_t flow = 0;      ///< flow events only
+  char ph = '?';
+  Cat cat = Cat::Kernel;
+  bool has_args = false;
+  int peer = -1;
+  int tag = -1;
+  long long seq = -1;
+  unsigned long long bytes = 0;
+  std::string name;
+};
+
+/// One thread's track with its decoded events, in record (= timestamp)
+/// order.
+struct TrackView {
+  int rank = 0;
+  int tid = 0;
+  std::string label;
+  std::uint64_t dropped = 0;
+  std::vector<EventView> events;
+};
+
+/// Decodes every thread buffer. Call only after disable() once traced
+/// threads have joined (same contract as write_chrome_json).
+std::vector<TrackView> snapshot();
+
 /// Serializes all buffered events as Chrome trace-event JSON, one event
 /// per line. Unmatched begin events (buffer overflow, still-open spans)
 /// are closed at the thread's last timestamp so B/E pairs always balance.
@@ -103,6 +193,15 @@ class TraceSpan {
     if (!enabled()) return;
     active_ = true;
     detail::begin_span(c, name, suffix);
+  }
+  /// Span with correlation args (comm primitives). Same single-branch
+  /// disabled fast path; the CommArgs aggregate is only read when
+  /// tracing is on.
+  explicit TraceSpan(Cat c, std::string_view name, std::string_view suffix,
+                     const CommArgs& args) {
+    if (!enabled()) return;
+    active_ = true;
+    detail::begin_span_args(c, name, suffix, args);
   }
   ~TraceSpan() {
     if (active_) detail::end_span();

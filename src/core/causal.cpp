@@ -1,0 +1,619 @@
+#include "core/causal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bwlab::core::causal {
+
+namespace {
+
+constexpr double kNsToS = 1e-9;
+
+/// One reconstructed span on a rank-main timeline.
+struct SpanRec {
+  double t0 = 0, t1 = 0;
+  trace::Cat cat = trace::Cat::Kernel;
+  std::string name;
+  bool has_args = false;
+  int peer = -1, tag = -1;
+  long long seq = -1;
+  unsigned long long bytes = 0;
+};
+
+/// Innermost-span classification of a timeline instant into a critical-
+/// path bucket.
+const char* bucket_of(const SpanRec& s) {
+  switch (s.cat) {
+    case trace::Cat::Kernel: return "kernel";
+    case trace::Cat::Halo: return "halo_pack";
+    case trace::Cat::Comm:
+      return (s.name == "barrier" || s.name == "allreduce") ? "imbalance"
+                                                            : "comm_wait";
+    default: return "other";
+  }
+}
+
+/// Leaf interval: the innermost open span's bucket over [t0, t1).
+struct Leaf {
+  double t0 = 0, t1 = 0;
+  const char* bucket = "other";
+};
+
+/// A flow endpoint: where an 's'/'f' event fired and the enclosing span.
+struct FlowEnd {
+  int rank = -1;
+  double ts = 0;
+  long long span = -1;  ///< index into the rank's span list, -1 if none
+};
+
+/// Everything extracted from one rank's merged main timeline.
+struct RankTimeline {
+  double first = 0, last = 0;
+  std::vector<SpanRec> spans;   // completion order
+  std::vector<Leaf> leaves;     // time order
+  bool any = false;
+};
+
+/// A blocking interval the critical-path walk can jump across.
+struct WaitPoint {
+  double w0 = 0, w1 = 0;
+  bool collective = false;
+  double deliver = 0;   // p2p: flow-start timestamp
+  int src = -1;         // p2p: sending rank
+  long long inst = -1;  // collective: instance (seq)
+};
+
+/// Scans one merged event stream, reconstructing spans, leaves and flow
+/// endpoints. Unclosed spans are closed at the final timestamp, matching
+/// the serializer's balancing rule.
+void scan_track(int rank, const std::vector<trace::EventView>& events,
+                RankTimeline& tl,
+                std::map<std::uint64_t, FlowEnd>& flow_starts,
+                std::map<std::uint64_t, FlowEnd>& flow_finishes,
+                long long& dup_flows) {
+  if (events.empty()) return;
+  std::vector<std::size_t> open;  // indices into tl.spans
+  double prev = events.front().ts_ns * kNsToS;
+  if (!tl.any) {
+    tl.first = prev;
+    tl.any = true;
+  } else {
+    tl.first = std::min(tl.first, prev);
+  }
+  double last = prev;
+  for (const trace::EventView& e : events) {
+    const double ts = e.ts_ns * kNsToS;
+    last = std::max(last, ts);
+    switch (e.ph) {
+      case 'B': {
+        if (!open.empty() && ts > prev)
+          tl.leaves.push_back(Leaf{prev, ts, bucket_of(tl.spans[open.back()])});
+        prev = ts;
+        SpanRec s;
+        s.t0 = ts;
+        s.t1 = -1;
+        s.cat = e.cat;
+        s.name = e.name;
+        s.has_args = e.has_args;
+        s.peer = e.peer;
+        s.tag = e.tag;
+        s.seq = e.seq;
+        s.bytes = e.bytes;
+        open.push_back(tl.spans.size());
+        tl.spans.push_back(std::move(s));
+        break;
+      }
+      case 'E': {
+        if (open.empty()) break;  // unmatched end (pre-overflow): drop
+        if (ts > prev)
+          tl.leaves.push_back(Leaf{prev, ts, bucket_of(tl.spans[open.back()])});
+        prev = ts;
+        tl.spans[open.back()].t1 = ts;
+        open.pop_back();
+        break;
+      }
+      case 's':
+      case 'f': {
+        auto& side = e.ph == 's' ? flow_starts : flow_finishes;
+        const long long span =
+            open.empty() ? -1 : static_cast<long long>(open.back());
+        if (!side.emplace(e.flow, FlowEnd{rank, ts, span}).second)
+          ++dup_flows;  // id collision or replayed run without reset
+        break;
+      }
+      default: break;  // counters
+    }
+  }
+  // Close still-open spans (overflow or spans alive at disable()).
+  while (!open.empty()) {
+    if (last > prev)
+      tl.leaves.push_back(Leaf{prev, last, bucket_of(tl.spans[open.back()])});
+    prev = last;
+    tl.spans[open.back()].t1 = last;
+    open.pop_back();
+  }
+  tl.last = std::max(tl.last, last);
+}
+
+WaitClass classify(double deliver, double w0, double w1,
+                   unsigned long long bytes, const Options& opts) {
+  if (deliver > w0) return WaitClass::LateSender;
+  const double copy_allowance =
+      opts.progress_eps_s +
+      static_cast<double>(bytes) / opts.copy_bw_bytes_per_s;
+  if (w1 - w0 > copy_allowance) return WaitClass::ProgressStarved;
+  return WaitClass::LateReceiver;
+}
+
+}  // namespace
+
+const char* to_string(WaitClass c) {
+  switch (c) {
+    case WaitClass::LateSender: return "late-sender";
+    case WaitClass::LateReceiver: return "late-receiver";
+    case WaitClass::ProgressStarved: return "progress-starved";
+  }
+  return "?";
+}
+
+Report analyze(const std::vector<trace::TrackView>& tracks,
+               const Options& opts) {
+  Report rep;
+
+  // Merge rank-main (tid 0) tracks per rank: checkpoint/restart runs can
+  // leave several buffers with the same identity (a fresh thread per
+  // run_ranks call), and analysis wants one timeline per rank.
+  std::map<int, std::vector<trace::EventView>> per_rank;
+  for (const trace::TrackView& t : tracks) {
+    if (t.tid != 0) continue;  // workers / watchdog: not SimMPI timelines
+    auto& dst = per_rank[t.rank];
+    dst.insert(dst.end(), t.events.begin(), t.events.end());
+  }
+  if (per_rank.empty()) return rep;
+  for (auto& [rank, evs] : per_rank)
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const trace::EventView& a, const trace::EventView& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+
+  const int nranks = per_rank.rbegin()->first + 1;
+  rep.nranks = nranks;
+
+  std::map<int, RankTimeline> timelines;
+  std::map<std::uint64_t, FlowEnd> flow_starts, flow_finishes;
+  long long dup_flows = 0;
+  for (auto& [rank, evs] : per_rank)
+    scan_track(rank, evs, timelines[rank], flow_starts, flow_finishes,
+               dup_flows);
+
+  double global_start = 1e300, global_end = -1e300;
+  for (const auto& [rank, tl] : timelines) {
+    if (!tl.any) continue;
+    global_start = std::min(global_start, tl.first);
+    global_end = std::max(global_end, tl.last);
+  }
+  if (global_end <= global_start) return rep;
+  rep.wall_s = global_end - global_start;
+
+  // --- Send→recv matching + wait-state classification -----------------------
+  std::map<int, std::vector<WaitPoint>> waits;  // per dest rank, p2p
+  std::map<std::pair<int, int>, PairStats> matrix;
+  std::map<int, RankWaits> rank_waits;
+  for (int r = 0; r < nranks; ++r) rank_waits[r].rank = r;
+
+  for (const auto& [id, s] : flow_starts) {
+    const auto f = flow_finishes.find(id);
+    if (f == flow_finishes.end()) {
+      ++rep.unmatched_sends;
+      continue;
+    }
+    MessageFlow m;
+    m.src = s.rank;
+    m.dest = f->second.rank;
+    m.deliver_s = s.ts;
+    const RankTimeline& stl = timelines[s.rank];
+    const RankTimeline& rtl = timelines[f->second.rank];
+    if (s.span >= 0) {
+      const SpanRec& ss = stl.spans[static_cast<std::size_t>(s.span)];
+      m.send_begin_s = ss.t0;
+      m.tag = ss.tag;
+      m.seq = ss.seq;
+      m.bytes = ss.bytes;
+    } else {
+      m.send_begin_s = s.ts;
+    }
+    if (f->second.span >= 0) {
+      const SpanRec& rs = rtl.spans[static_cast<std::size_t>(f->second.span)];
+      m.wait_begin_s = rs.t0;
+      m.wait_end_s = rs.t1;
+    } else {
+      m.wait_begin_s = m.wait_end_s = f->second.ts;
+    }
+    m.wait_s = m.wait_end_s - m.wait_begin_s;
+    m.cls = classify(m.deliver_s, m.wait_begin_s, m.wait_end_s, m.bytes, opts);
+    rep.messages.push_back(m);
+
+    PairStats& cell = matrix[{m.src, m.dest}];
+    cell.src = m.src;
+    cell.dest = m.dest;
+    ++cell.messages;
+    cell.bytes += m.bytes;
+    cell.wait_s += m.wait_s;
+
+    RankWaits& rw = rank_waits[m.dest];
+    switch (m.cls) {
+      case WaitClass::LateSender:
+        rw.late_sender_s += m.wait_s;
+        ++rw.late_sender_n;
+        break;
+      case WaitClass::LateReceiver:
+        rw.late_receiver_s += m.wait_s;
+        ++rw.late_receiver_n;
+        break;
+      case WaitClass::ProgressStarved:
+        rw.progress_starved_s += m.wait_s;
+        ++rw.progress_starved_n;
+        break;
+    }
+    waits[m.dest].push_back(
+        WaitPoint{m.wait_begin_s, m.wait_end_s, false, m.deliver_s, m.src, -1});
+  }
+  rep.unmatched_recvs =
+      static_cast<long long>(flow_finishes.size()) +
+      dup_flows -
+      (static_cast<long long>(rep.messages.size()));
+  std::sort(rep.messages.begin(), rep.messages.end(),
+            [](const MessageFlow& a, const MessageFlow& b) {
+              return a.wait_end_s < b.wait_end_s;
+            });
+  for (auto& [key, cell] : matrix) rep.matrix.push_back(cell);
+
+  // --- Collectives: instance table + per-rank blocked time -------------------
+  // inst -> per-rank (begin, end); the k-th collective span on every rank
+  // is the same instance because barriers and allreduces share one World
+  // generation counter.
+  std::map<long long, std::map<int, std::pair<double, double>>> colls;
+  for (const auto& [rank, tl] : timelines) {
+    for (const SpanRec& s : tl.spans) {
+      if (s.cat != trace::Cat::Comm) continue;
+      if (s.name != "barrier" && s.name != "allreduce") continue;
+      rank_waits[rank].collective_s += s.t1 - s.t0;
+      if (s.has_args && s.seq >= 0)
+        colls[s.seq][rank] = {s.t0, s.t1};
+    }
+  }
+  for (const auto& [inst, per] : colls) {
+    for (const auto& [rank, tt] : per)
+      waits[rank].push_back(WaitPoint{tt.first, tt.second, true, 0, -1, inst});
+  }
+  for (auto& [rank, wl] : waits)
+    std::sort(wl.begin(), wl.end(),
+              [](const WaitPoint& a, const WaitPoint& b) { return a.w0 < b.w0; });
+  for (const auto& [rank, rw] : rank_waits) rep.rank_waits.push_back(rw);
+
+  // --- Critical-path extraction ----------------------------------------------
+  // Backward walk from the globally last event. Across a late-sender wait
+  // the path jumps to the sending rank at the delivery point; across a
+  // collective it jumps to the last-arriving rank. Everything else is
+  // attributed to buckets by the innermost span covering it, so the
+  // buckets partition [global_start, global_end] exactly.
+  CriticalPath& path = rep.path;
+  path.length_s = rep.wall_s;
+
+  auto add_seg = [&](int rank, double a, double b, const char* bucket) {
+    if (b <= a) return;
+    path.bucket_s[bucket] += b - a;
+    path.segments.push_back(PathSegment{rank, a, b, bucket});
+  };
+  // Attributes [a, b] on `rank` via its leaf intervals; gaps become
+  // "other".
+  auto attribute = [&](int rank, double a, double b) {
+    if (b <= a) return;
+    const auto& ls = timelines[rank].leaves;
+    auto it = std::lower_bound(
+        ls.begin(), ls.end(), a,
+        [](const Leaf& l, double t) { return l.t1 <= t; });
+    double covered = a;
+    for (; it != ls.end() && it->t0 < b; ++it) {
+      const double lo = std::max(a, it->t0), hi = std::min(b, it->t1);
+      if (hi <= lo) continue;
+      add_seg(rank, covered, lo, "other");
+      add_seg(rank, lo, hi, it->bucket);
+      covered = std::max(covered, hi);
+    }
+    add_seg(rank, covered, b, "other");
+  };
+
+  int cur = -1;
+  {
+    double best = -1e300;
+    for (const auto& [rank, tl] : timelines)
+      if (tl.any && tl.last > best) {
+        best = tl.last;
+        cur = rank;
+      }
+  }
+  double t = global_end;
+  path.ranks.push_back(cur);
+  const long long max_iters =
+      16 + 4 * static_cast<long long>(flow_starts.size() + colls.size() +
+                                      rep.nranks);
+  for (long long iter = 0; iter < max_iters && t > global_start; ++iter) {
+    const auto& wl = waits[cur];
+    // Latest wait on cur starting before t.
+    auto it = std::lower_bound(
+        wl.begin(), wl.end(), t,
+        [](const WaitPoint& w, double tt) { return w.w0 < tt; });
+    if (it == wl.begin()) {
+      attribute(cur, global_start, t);
+      t = global_start;
+      break;
+    }
+    const WaitPoint& p = *std::prev(it);
+    const double we = std::min(p.w1, t);
+    attribute(cur, we, t);  // compute tail after the wait
+    bool jumped = false;
+    if (!p.collective) {
+      if (p.src != cur && p.src >= 0 && p.deliver > p.w0 && p.deliver < we) {
+        add_seg(cur, p.deliver, we, "comm_wait");  // transfer/copy tail
+        t = p.deliver;
+        jumped = true;
+        if (path.ranks.back() != p.src) path.ranks.push_back(p.src);
+        cur = p.src;
+      }
+    } else {
+      const auto cit = colls.find(p.inst);
+      if (cit != colls.end()) {
+        int r_last = cur;
+        double b_last = -1e300;
+        for (const auto& [rank, tt] : cit->second)
+          if (tt.first > b_last) {
+            b_last = tt.first;
+            r_last = rank;
+          }
+        if (r_last != cur && b_last > p.w0 && b_last < we) {
+          add_seg(cur, b_last, we, "imbalance");  // completion after arrival
+          t = b_last;
+          jumped = true;
+          if (path.ranks.back() != r_last) path.ranks.push_back(r_last);
+          cur = r_last;
+        }
+      }
+    }
+    if (!jumped) {
+      attribute(cur, p.w0, we);
+      t = p.w0;
+    }
+  }
+  if (t > global_start) attribute(cur, global_start, t);  // iteration cap hit
+  std::reverse(path.ranks.begin(), path.ranks.end());
+  std::reverse(path.segments.begin(), path.segments.end());
+  return rep;
+}
+
+Report analyze_live(const Options& opts) {
+  return analyze(trace::snapshot(), opts);
+}
+
+// --- Offline parsing ---------------------------------------------------------
+
+namespace {
+
+/// Value (numeric or string) following `"key":` in a one-event JSON line.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string tag = "\"" + key + "\":";
+  const std::size_t at = line.find(tag);
+  if (at == std::string::npos) return {};
+  std::size_t v = at + tag.size();
+  if (v >= line.size()) return {};
+  if (line[v] == '"') {
+    std::string out;
+    for (std::size_t i = v + 1; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        out.push_back(line[++i]);
+      } else if (line[i] == '"') {
+        return out;
+      } else {
+        out.push_back(line[i]);
+      }
+    }
+    return out;
+  }
+  std::size_t end = v;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(v, end - v);
+}
+
+trace::Cat cat_from_string(const std::string& s) {
+  if (s == "kernel") return trace::Cat::Kernel;
+  if (s == "halo") return trace::Cat::Halo;
+  if (s == "comm") return trace::Cat::Comm;
+  if (s == "tile") return trace::Cat::Tile;
+  if (s == "region") return trace::Cat::Region;
+  if (s == "app") return trace::Cat::App;
+  if (s == "fault") return trace::Cat::Fault;
+  return trace::Cat::App;
+}
+
+}  // namespace
+
+std::vector<trace::TrackView> parse_chrome_trace(std::istream& is) {
+  std::vector<trace::TrackView> out;
+  std::map<std::pair<int, int>, std::size_t> index;
+  auto track = [&](int pid, int tid) -> trace::TrackView& {
+    const auto key = std::make_pair(pid, tid);
+    const auto it = index.find(key);
+    if (it != index.end()) return out[it->second];
+    index[key] = out.size();
+    trace::TrackView t;
+    t.rank = pid;
+    t.tid = tid;
+    out.push_back(std::move(t));
+    return out.back();
+  };
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string ph = json_field(line, "ph");
+    if (ph.empty()) continue;  // envelope lines
+    const int pid = std::atoi(json_field(line, "pid").c_str());
+    const int tid = std::atoi(json_field(line, "tid").c_str());
+    trace::TrackView& t = track(pid, tid);
+    if (ph[0] == 'M') {
+      // Metadata: recover the label and the per-thread drop count the
+      // serializer folds into the thread_name ("label (dropped N)").
+      if (json_field(line, "name") == "thread_name") {
+        // The label lives inside args: {"name":"rank 0 main (dropped N)"}.
+        const std::size_t args_at = line.find("\"args\"");
+        if (args_at == std::string::npos) continue;
+        const std::string inner = json_field(line.substr(args_at), "name");
+        const std::size_t at = inner.rfind(" (dropped ");
+        if (at != std::string::npos) {
+          t.label = inner.substr(0, at);
+          t.dropped = static_cast<std::uint64_t>(
+              std::strtoull(inner.c_str() + at + 10, nullptr, 10));
+        } else {
+          t.label = inner;
+        }
+      }
+      continue;
+    }
+    trace::EventView e;
+    e.ph = ph[0];
+    e.ts_ns = static_cast<std::uint64_t>(
+        std::llround(std::atof(json_field(line, "ts").c_str()) * 1000.0));
+    e.cat = cat_from_string(json_field(line, "cat"));
+    e.name = json_field(line, "name");
+    if (e.ph == 's' || e.ph == 'f') {
+      const std::string id = json_field(line, "id");
+      e.flow = std::strtoull(id.c_str(), nullptr, 16);  // "0x..." form
+    } else if (e.ph == 'C') {
+      e.value = std::atof(json_field(line, "value").c_str());
+    } else if (e.ph == 'B' && line.find("\"peer\":") != std::string::npos) {
+      e.has_args = true;
+      e.peer = std::atoi(json_field(line, "peer").c_str());
+      e.tag = std::atoi(json_field(line, "tag").c_str());
+      e.seq = std::atoll(json_field(line, "seq").c_str());
+      e.bytes = std::strtoull(json_field(line, "bytes").c_str(), nullptr, 10);
+    }
+    t.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+// --- Presentation ------------------------------------------------------------
+
+Table wait_state_table(const Report& r) {
+  Table t("Wait states per rank (bwcausal)");
+  t.set_columns({{"rank", 0},
+                 {"late-sender s", 6},
+                 {"n", 0},
+                 {"progress-starved s", 6},
+                 {"n", 0},
+                 {"late-receiver s", 6},
+                 {"n", 0},
+                 {"collective s", 6}});
+  for (const RankWaits& w : r.rank_waits)
+    t.add_row({static_cast<double>(w.rank), w.late_sender_s,
+               static_cast<double>(w.late_sender_n), w.progress_starved_s,
+               static_cast<double>(w.progress_starved_n), w.late_receiver_s,
+               static_cast<double>(w.late_receiver_n), w.collective_s});
+  return t;
+}
+
+Table comm_matrix_table(const Report& r) {
+  Table t("Communication matrix (src -> dest)");
+  t.set_columns({{"src", 0},
+                 {"dest", 0},
+                 {"messages", 0},
+                 {"MB", 3},
+                 {"wait s", 6}});
+  for (const PairStats& p : r.matrix)
+    t.add_row({static_cast<double>(p.src), static_cast<double>(p.dest),
+               static_cast<double>(p.messages),
+               static_cast<double>(p.bytes) / 1e6, p.wait_s});
+  return t;
+}
+
+Table critical_path_table(const Report& r) {
+  Table t("Critical path attribution");
+  t.set_columns({{"bucket", 0}, {"seconds", 6}, {"% of path", 1}});
+  const double len = r.path.length_s > 0 ? r.path.length_s : 1.0;
+  for (const char* b : {"kernel", "halo_pack", "comm_wait", "imbalance",
+                        "other"}) {
+    const auto it = r.path.bucket_s.find(b);
+    const double s = it == r.path.bucket_s.end() ? 0.0 : it->second;
+    t.add_row({std::string(b), s, 100.0 * s / len});
+  }
+  t.add_separator();
+  std::string ranks;
+  for (std::size_t i = 0; i < r.path.ranks.size(); ++i) {
+    if (i > 0) ranks += "->";
+    ranks += std::to_string(r.path.ranks[i]);
+  }
+  t.add_row({std::string("path (ranks " + ranks + ")"), r.path.length_s,
+             100.0});
+  return t;
+}
+
+void write_json(std::ostream& os, const Report& r, int indent) {
+  const std::string i0(static_cast<std::size_t>(indent), ' ');
+  const std::string i1 = i0 + "  ";
+  const std::string i2 = i1 + "  ";
+  os << "{\n";
+  os << i1 << "\"wall_seconds\": " << r.wall_s << ",\n";
+  os << i1 << "\"nranks\": " << r.nranks << ",\n";
+  os << i1 << "\"matched_messages\": " << r.messages.size() << ",\n";
+  os << i1 << "\"unmatched_sends\": " << r.unmatched_sends << ",\n";
+  os << i1 << "\"unmatched_recvs\": " << r.unmatched_recvs << ",\n";
+  os << i1 << "\"wait_states\": [";
+  bool first = true;
+  for (const RankWaits& w : r.rank_waits) {
+    os << (first ? "\n" : ",\n") << i2 << "{\"rank\": " << w.rank
+       << ", \"late_sender_seconds\": " << w.late_sender_s
+       << ", \"late_sender_count\": " << w.late_sender_n
+       << ", \"progress_starved_seconds\": " << w.progress_starved_s
+       << ", \"progress_starved_count\": " << w.progress_starved_n
+       << ", \"late_receiver_seconds\": " << w.late_receiver_s
+       << ", \"late_receiver_count\": " << w.late_receiver_n
+       << ", \"collective_seconds\": " << w.collective_s << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n" + i1 + "]") << ",\n";
+  os << i1 << "\"matrix\": [";
+  first = true;
+  for (const PairStats& p : r.matrix) {
+    os << (first ? "\n" : ",\n") << i2 << "{\"src\": " << p.src
+       << ", \"dest\": " << p.dest << ", \"messages\": " << p.messages
+       << ", \"bytes\": " << p.bytes << ", \"wait_seconds\": " << p.wait_s
+       << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n" + i1 + "]") << ",\n";
+  os << i1 << "\"critical_path\": {\n";
+  os << i2 << "\"length_seconds\": " << r.path.length_s << ",\n";
+  os << i2 << "\"buckets\": {";
+  first = true;
+  for (const auto& [bucket, s] : r.path.bucket_s) {
+    os << (first ? "" : ", ") << "\"" << bucket << "\": " << s;
+    first = false;
+  }
+  os << "},\n";
+  os << i2 << "\"ranks\": [";
+  first = true;
+  for (const int rank : r.path.ranks) {
+    os << (first ? "" : ", ") << rank;
+    first = false;
+  }
+  os << "],\n";
+  os << i2 << "\"segments\": " << r.path.segments.size() << "\n";
+  os << i1 << "}\n" << i0 << "}";
+}
+
+}  // namespace bwlab::core::causal

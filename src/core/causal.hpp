@@ -1,0 +1,145 @@
+// bwcausal: post-run causal analysis of SimMPI trace streams.
+//
+// bwtrace shows each rank's spans in isolation — *that* a rank waited.
+// This module replays the buffered events after run_ranks joins and
+// explains *why*, in the spirit of wait-state / critical-path analysis
+// (Scalasca-style), scaled down to the SimMPI runtime:
+//
+//  * send→recv matching: every delivered point-to-point message links the
+//    sender's flow-start (delivery point, inside the send span) to the
+//    receiver's flow-finish (inside the blocking recv/wait span) via the
+//    shared trace::flow_id;
+//  * wait-state classification: each blocked recv/wait interval becomes
+//    late-sender (the message was delivered after the receiver started
+//    waiting), progress-starved (the message was already there, yet the
+//    receiver stayed blocked well past the expected copy time), or
+//    late-receiver (the message sat in the mailbox; the receiver arrived
+//    late and barely blocked);
+//  * a per-rank-pair communication matrix (messages, bytes, receiver wait
+//    seconds);
+//  * critical-path extraction: a backward walk from the last event that
+//    jumps to the sending rank across late-sender waits and to the
+//    last-arriving rank across collectives, attributing the end-to-end
+//    wall time to kernel / halo_pack / comm_wait / imbalance / other
+//    buckets that sum exactly to the traced wall interval.
+//
+// Everything here runs post-join on the snapshot (or on a parsed
+// .trace.json for the offline tools/trace_analyze) — the hot path pays
+// nothing beyond the existing disabled-tracer branch.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/trace.hpp"
+
+namespace bwlab::core::causal {
+
+enum class WaitClass { LateSender, LateReceiver, ProgressStarved };
+
+const char* to_string(WaitClass c);
+
+/// One matched point-to-point message: sender-side delivery joined with
+/// the receiver's blocking span. Timestamps are seconds since the trace
+/// epoch.
+struct MessageFlow {
+  int src = -1;
+  int dest = -1;
+  int tag = -1;
+  long long seq = -1;
+  unsigned long long bytes = 0;
+  double send_begin_s = 0;  ///< sender's send-span begin
+  double deliver_s = 0;     ///< flow-start: message entered the mailbox
+  double wait_begin_s = 0;  ///< receiver's recv/wait-span begin
+  double wait_end_s = 0;    ///< receiver's recv/wait-span end
+  WaitClass cls = WaitClass::LateReceiver;
+  double wait_s = 0;  ///< wait_end_s - wait_begin_s
+};
+
+/// Communication-matrix cell: traffic and induced receiver wait for one
+/// directed rank pair.
+struct PairStats {
+  int src = -1;
+  int dest = -1;
+  long long messages = 0;
+  unsigned long long bytes = 0;
+  double wait_s = 0;
+};
+
+/// Per-rank wait-state totals (p2p classes plus collective blocking).
+struct RankWaits {
+  int rank = -1;
+  double late_sender_s = 0;
+  double late_receiver_s = 0;
+  double progress_starved_s = 0;
+  double collective_s = 0;  ///< time inside barrier/allreduce spans
+  long long late_sender_n = 0;
+  long long late_receiver_n = 0;
+  long long progress_starved_n = 0;
+};
+
+/// One hop of the extracted critical path (start→end order).
+struct PathSegment {
+  int rank = -1;
+  double t0_s = 0;
+  double t1_s = 0;
+  std::string bucket;  ///< kernel | halo_pack | comm_wait | imbalance | other
+};
+
+struct CriticalPath {
+  double length_s = 0;  ///< == traced wall interval by construction
+  /// Bucket seconds; values sum to length_s.
+  std::map<std::string, double> bucket_s;
+  std::vector<int> ranks;  ///< distinct ranks the path visits, start→end
+  std::vector<PathSegment> segments;  ///< start→end order
+};
+
+struct Report {
+  double wall_s = 0;  ///< last minus first event across rank-main tracks
+  int nranks = 0;
+  std::vector<MessageFlow> messages;  ///< matched, receive-completion order
+  long long unmatched_sends = 0;  ///< flow-starts with no flow-finish
+  long long unmatched_recvs = 0;  ///< flow-finishes with no flow-start
+  std::vector<PairStats> matrix;  ///< (src, dest) ascending
+  std::vector<RankWaits> rank_waits;  ///< rank ascending
+  CriticalPath path;
+};
+
+struct Options {
+  /// A wait whose message was already delivered is progress-starved once
+  /// it blocks longer than progress_eps_s + bytes / copy_bw_bytes_per_s
+  /// (the allowance for the mailbox memcpy of large payloads).
+  double progress_eps_s = 50e-6;
+  double copy_bw_bytes_per_s = 1e9;
+};
+
+/// Analyzes decoded track views (trace::snapshot() or
+/// parse_chrome_trace). Only rank-main tracks (tid 0) participate;
+/// worker and watchdog tracks are ignored.
+Report analyze(const std::vector<trace::TrackView>& tracks,
+               const Options& opts = {});
+
+/// analyze() on a snapshot of the global tracer. Call post-join, after
+/// trace::disable().
+Report analyze_live(const Options& opts = {});
+
+/// Parses a Chrome trace JSON previously written by
+/// trace::write_chrome_json (one event per line) back into track views,
+/// so tools/trace_analyze can run the same analysis offline.
+std::vector<trace::TrackView> parse_chrome_trace(std::istream& is);
+
+// --- Presentation ------------------------------------------------------------
+
+Table wait_state_table(const Report& r);
+Table comm_matrix_table(const Report& r);
+Table critical_path_table(const Report& r);
+
+/// The "causal" JSON object (no surrounding key), embedded in the run
+/// report and emitted by tools/trace_analyze --json. `indent` is the
+/// base indentation in spaces.
+void write_json(std::ostream& os, const Report& r, int indent = 2);
+
+}  // namespace bwlab::core::causal

@@ -8,7 +8,9 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/pattern.hpp"
+#include "common/trace.hpp"
 #include "core/attribution.hpp"
+#include "core/causal.hpp"
 
 namespace bwlab::core {
 
@@ -99,7 +101,8 @@ Table effective_bw_table(const Instrumentation& instr) {
 
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
                            const MetricsRegistry* metrics,
-                           const AttributionReport* attr) {
+                           const AttributionReport* attr,
+                           const causal::Report* causal_rep) {
   os << "{\n  \"loops\": [";
   bool first = true;
   for (const LoopRecord* l : instr.loops_in_order()) {
@@ -157,16 +160,39 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
     os << ",\n  \"metrics\": ";
     metrics->write_json(os);
   }
+  if (causal_rep != nullptr) {
+    os << ",\n  \"causal\": ";
+    causal::write_json(os, *causal_rep, 2);
+  }
+  // Trace health: only present when the tracer has (or had) events, so
+  // untraced runs keep their report unchanged.
+  const std::vector<trace::ThreadDrops> drops = trace::dropped_by_thread();
+  if (!drops.empty()) {
+    std::uint64_t total = 0;
+    for (const trace::ThreadDrops& d : drops) total += d.dropped;
+    os << ",\n  \"trace\": {\n    \"dropped_events\": " << total
+       << ",\n    \"threads\": [";
+    bool tfirst = true;
+    for (const trace::ThreadDrops& d : drops) {
+      os << (tfirst ? "\n" : ",\n") << "      {\"rank\": " << d.rank
+         << ", \"tid\": " << d.tid << ", \"label\": \"";
+      tfirst = false;
+      write_json_escaped(os, d.label);
+      os << "\", \"dropped\": " << d.dropped << "}";
+    }
+    os << (tfirst ? "]" : "\n    ]") << "\n  }";
+  }
   os << "\n}\n";
 }
 
 void write_run_report_json_file(const std::string& path,
                                 const Instrumentation& instr,
                                 const MetricsRegistry* metrics,
-                                const AttributionReport* attr) {
+                                const AttributionReport* attr,
+                                const causal::Report* causal_rep) {
   std::ofstream os(path);
   BWLAB_REQUIRE(os.good(), "cannot open report output file '" << path << "'");
-  write_run_report_json(os, instr, metrics, attr);
+  write_run_report_json(os, instr, metrics, attr, causal_rep);
   BWLAB_REQUIRE(os.good(), "failed writing report to '" << path << "'");
 }
 

@@ -49,17 +49,26 @@ Table effective_bw_table(const Instrumentation& instr);
 
 struct AttributionReport;
 
+namespace causal {
+struct Report;
+}
+
 /// Machine-readable run report: every loop record, every exchange record,
-/// total loop seconds, and (if given) a snapshot of `metrics` and the
-/// per-loop roofline attribution (core/attribution.hpp).
+/// total loop seconds, and (if given) a snapshot of `metrics`, the
+/// per-loop roofline attribution (core/attribution.hpp) and the bwcausal
+/// wait-state / critical-path analysis (core/causal.hpp). When the tracer
+/// recorded events, a "trace" section reports total and per-thread
+/// dropped-event counts so truncated timelines are visible post-run.
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
                            const MetricsRegistry* metrics = nullptr,
-                           const AttributionReport* attr = nullptr);
+                           const AttributionReport* attr = nullptr,
+                           const causal::Report* causal_rep = nullptr);
 
 /// write_run_report_json to `path`; throws bwlab::Error if unwritable.
 void write_run_report_json_file(const std::string& path,
                                 const Instrumentation& instr,
                                 const MetricsRegistry* metrics = nullptr,
-                                const AttributionReport* attr = nullptr);
+                                const AttributionReport* attr = nullptr,
+                                const causal::Report* causal_rep = nullptr);
 
 }  // namespace bwlab::core

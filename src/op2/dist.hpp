@@ -21,6 +21,7 @@
 
 #include <vector>
 
+#include "common/trace.hpp"
 #include "op2/par_loop.hpp"
 #include "op2/partition.hpp"
 #include "par/simmpi.hpp"
@@ -89,6 +90,7 @@ void scatter_local(const RankLocal& local, const Dat<T>& global_dat,
 template <class T>
 void halo_gather(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
                  int tag_base = 1000) {
+  trace::TraceSpan span(trace::Cat::Halo, "halo_gather");
   const int dim = dat.dim();
   std::vector<std::vector<T>> sendbuf(local.neighbors.size());
   for (std::size_t k = 0; k < local.neighbors.size(); ++k) {
@@ -115,6 +117,7 @@ void halo_gather(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
 template <class T>
 void halo_scatter_add(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
                       int tag_base = 2000) {
+  trace::TraceSpan span(trace::Cat::Halo, "halo_scatter_add");
   const int dim = dat.dim();
   // Ghost blocks travel to their owners...
   for (std::size_t k = 0; k < local.neighbors.size(); ++k) {

@@ -340,7 +340,10 @@ class Dat {
     auto send_to = [&](int nb, const Box& sbox, std::vector<T>& buf,
                        int tag) {
       if (nb < 0 || nb == me || comm == nullptr) return;
-      pack(sbox, buf);
+      {
+        trace::TraceSpan pack_span(trace::Cat::Halo, "halo.pack:", name_);
+        pack(sbox, buf);
+      }
       comm->send(nb, tag, buf.data(), buf.size() * sizeof(T));
       ++rec.messages;
       rec.bytes += buf.size() * sizeof(T);
@@ -361,6 +364,7 @@ class Dat {
       }
       std::vector<T> rbuf(static_cast<std::size_t>(rbox.points()));
       comm->recv(nb, tag, rbuf.data(), rbuf.size() * sizeof(T));
+      trace::TraceSpan unpack_span(trace::Cat::Halo, "halo.unpack:", name_);
       unpack(rbox, rbuf);
     };
 

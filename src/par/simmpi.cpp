@@ -395,7 +395,24 @@ class World {
 int Comm::size() const { return world_->size(); }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
-  trace::TraceSpan span(trace::Cat::Comm, "send");
+  // Correlation id (bwcausal): seq counts *delivered* messages, so it is
+  // claimed optimistically for the span args but only consumed on actual
+  // delivery — an injected drop leaves it for the next real message,
+  // matching the receiver's completed-recv count. The flow-start event is
+  // emitted at the delivery point (after any injected delay), which is
+  // the causal timestamp late-sender classification keys on.
+  const bool traced = trace::enabled();
+  const long long seq = traced ? send_seq_[{dest, tag}] : -1;
+  trace::TraceSpan span(
+      trace::Cat::Comm, "send", {},
+      trace::CommArgs{dest, tag, seq, static_cast<unsigned long long>(bytes)});
+  const auto deliver = [&](const void* wire) {
+    if (traced) {
+      ++send_seq_[{dest, tag}];
+      trace::flow_start(trace::flow_id(rank_, dest, tag, seq));
+    }
+    world_->deliver(rank_, dest, tag, wire, bytes);
+  };
   if (fault::active()) {
     // Copy first so an injected payload flip corrupts the wire bytes,
     // never the caller's buffer.
@@ -403,10 +420,9 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
                            static_cast<const char*>(data) + bytes);
     const fault::MsgAction action =
         fault::on_send(rank_, dest, tag, wire.data(), bytes);
-    if (action != fault::MsgAction::Drop)
-      world_->deliver(rank_, dest, tag, wire.data(), bytes);
+    if (action != fault::MsgAction::Drop) deliver(wire.data());
   } else {
-    world_->deliver(rank_, dest, tag, data, bytes);
+    deliver(data);
   }
   ++msgs_sent_;
   bytes_sent_ += bytes;
@@ -420,9 +436,17 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
 }
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
-  trace::TraceSpan span(trace::Cat::Comm, "recv");
+  // Receives of a (src, tag) stream complete in FIFO order on this single
+  // rank thread, so the seq this recv will consume is known at entry and
+  // the span args can carry it.
+  const bool traced = trace::enabled();
+  const long long seq = traced ? recv_seq_[{src, tag}]++ : -1;
+  trace::TraceSpan span(
+      trace::Cat::Comm, "recv", {},
+      trace::CommArgs{src, tag, seq, static_cast<unsigned long long>(bytes)});
   const seconds_t blocked =
       world_->collect(src, rank_, tag, data, bytes, BlockedOp::Recv);
+  if (traced) trace::flow_finish(trace::flow_id(src, rank_, tag, seq));
   comm_seconds_ += blocked;
   record_blocked(blocked);
 }
@@ -434,6 +458,7 @@ Comm::Request Comm::isend(int dest, int tag, const void* data,
   r.is_recv = false;
   r.peer = dest;
   r.tag = tag;
+  r.bytes = bytes;
   r.done = true;
   return r;
 }
@@ -451,10 +476,17 @@ Comm::Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
 
 void Comm::wait(Request& r) {
   if (r.done) return;
-  trace::TraceSpan span(trace::Cat::Comm, "wait");
+  const bool traced = trace::enabled();
+  const long long seq =
+      traced && r.is_recv ? recv_seq_[{r.peer, r.tag}]++ : -1;
+  trace::TraceSpan span(trace::Cat::Comm, "wait", {},
+                        trace::CommArgs{r.peer, r.tag, seq,
+                                        static_cast<unsigned long long>(
+                                            r.bytes)});
   if (r.is_recv) {
     const seconds_t blocked = world_->collect(r.peer, rank_, r.tag, r.data,
                                               r.bytes, BlockedOp::Wait);
+    if (traced) trace::flow_finish(trace::flow_id(r.peer, rank_, r.tag, seq));
     comm_seconds_ += blocked;
     record_blocked(blocked);
     world_->irecv_completed(rank_);
@@ -467,14 +499,24 @@ void Comm::wait_all(std::vector<Request>& rs) {
 }
 
 void Comm::barrier() {
-  trace::TraceSpan span(trace::Cat::Comm, "barrier");
+  // Collective seq: barriers and allreduces share one World generation
+  // counter, so every rank passes the same sequence of collective calls
+  // and the k-th collective span on each rank is the same instance —
+  // that is what lets the critical-path walk find the last arriver.
+  const long long seq = trace::enabled() ? coll_seq_++ : -1;
+  trace::TraceSpan span(trace::Cat::Comm, "barrier", {},
+                        trace::CommArgs{-1, -1, seq, 0});
   const seconds_t blocked = world_->barrier(rank_);
   comm_seconds_ += blocked;
   record_blocked(blocked);
 }
 
 void Comm::allreduce(double* vals, int n, ReduceOp op) {
-  trace::TraceSpan span(trace::Cat::Comm, "allreduce");
+  const long long seq = trace::enabled() ? coll_seq_++ : -1;
+  trace::TraceSpan span(
+      trace::Cat::Comm, "allreduce", {},
+      trace::CommArgs{-1, -1, seq,
+                      static_cast<unsigned long long>(n) * sizeof(double)});
   const seconds_t blocked = world_->allreduce(rank_, vals, n, op);
   comm_seconds_ += blocked;
   record_blocked(blocked);

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -47,7 +49,9 @@ class Comm {
   void recv(int src, int tag, void* data, std::size_t bytes);
 
   /// Nonblocking handles. isend is eagerly buffered (already complete);
-  /// irecv records the posting and completes inside wait().
+  /// irecv records the posting and completes inside wait(). peer, tag and
+  /// bytes are filled for both directions so wait spans can carry them as
+  /// trace args without re-deriving them from the mailbox.
   struct Request {
     bool is_recv = false;
     int peer = -1;
@@ -88,6 +92,15 @@ class Comm {
   seconds_t comm_seconds_ = 0.0;
   count_t msgs_sent_ = 0;
   count_t bytes_sent_ = 0;
+  // bwcausal correlation counters, advanced only while tracing is
+  // enabled: delivered (not merely attempted — an injected drop does not
+  // advance) point-to-point messages per (peer, tag) on the send side,
+  // completed receives per (peer, tag) on the receive side, and the
+  // global collective sequence. Mailbox matching is FIFO per (src, tag),
+  // so both sides independently assign the same seq to the same message.
+  std::map<std::pair<int, int>, long long> send_seq_;
+  std::map<std::pair<int, int>, long long> recv_seq_;
+  long long coll_seq_ = 0;
 };
 
 /// Outcome of one rank's execution.
