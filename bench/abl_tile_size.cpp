@@ -38,6 +38,18 @@ int main(int argc, char** argv) {
     run.record_value("host.clover2d.tile" + std::to_string(tile) + "_s", "s",
                      benchjson::Better::Lower, r.elapsed);
   }
+  // The auto-tuner's pick on this host, as one more point of the sweep.
+  {
+    apps::Options o = base;
+    o.tiled = true;
+    o.tile_size = 0;
+    const apps::Result r = apps::clover2d::run(o);
+    t.add_row({"auto (h=" + std::to_string(r.instr.tiling().tile_height) + ")",
+               r.elapsed, eager.elapsed / r.elapsed,
+               std::string(r.checksum == eager.checksum ? "yes" : "NO")});
+    run.record_value("host.clover2d.tile_auto_s", "s",
+                     benchjson::Better::Lower, r.elapsed);
+  }
   run.emit(t);
 
   // Model view: which cache level a tile of given height occupies on each

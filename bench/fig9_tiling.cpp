@@ -4,6 +4,8 @@
 // cache:memory bandwidth ratios) and the "tiled MAX beats the A100 by
 // 1.5x" headline. Also runs the REAL tiling executor on this host to
 // demonstrate correctness and measure the host-side gain.
+#include <thread>
+
 #include "apps/cloverleaf/cloverleaf2d.hpp"
 #include "bench/bench_common.hpp"
 
@@ -58,28 +60,55 @@ int main(int argc, char** argv) {
        t_gpu / tiled_max});
   run.emit(headline);
 
-  // Real tiling executor on this host: correctness + measured gain.
+  // Real tiling executor on this host: correctness + measured gain. Four
+  // variants: eager, serial tiled, tiled with a thread team (the parallel
+  // intra-tile executor), and auto-tuned tile height with the same team.
   apps::Options o;
   o.n = cli.get_int("host-n", 256);
   o.iterations = static_cast<int>(cli.get_int("host-iters", 3));
+  const int team = static_cast<int>(cli.get_int(
+      "host-threads",
+      std::min(4u, std::max(1u, std::thread::hardware_concurrency()))));
   const apps::Result eager = apps::clover2d::run(o);
   apps::Options ot = o;
   ot.tiled = true;
   ot.tile_size = cli.get_int("tile", 16);
   const apps::Result tiled = apps::clover2d::run(ot);
+  apps::Options op = ot;
+  op.threads = team;
+  const apps::Result tiled_par = apps::clover2d::run(op);
+  apps::Options oa = op;
+  oa.tile_size = 0;  // auto-tune from the chain footprint
+  const apps::Result tiled_auto = apps::clover2d::run(oa);
+  const idx_t auto_h = tiled_auto.instr.tiling().tile_height;
   Table host("Tiling executor on THIS host (real run, n=" +
              std::to_string(o.n) + ")");
   host.set_columns({{"variant", 0}, {"seconds", 3}, {"checksum", 6}});
   host.add_row({std::string("eager"), eager.elapsed, eager.checksum});
-  host.add_row({std::string("tiled"), tiled.elapsed, tiled.checksum});
+  host.add_row({std::string("tiled serial"), tiled.elapsed, tiled.checksum});
+  host.add_row({"tiled " + std::to_string(team) + " threads",
+                tiled_par.elapsed, tiled_par.checksum});
+  host.add_row({"tiled auto (h=" + std::to_string(auto_h) + ", " +
+                    std::to_string(team) + " threads)",
+                tiled_auto.elapsed, tiled_auto.checksum});
   host.add_row({std::string("checksums equal (1 = yes)"),
-                eager.checksum == tiled.checksum ? 1.0 : 0.0,
+                (eager.checksum == tiled.checksum &&
+                 eager.checksum == tiled_par.checksum &&
+                 eager.checksum == tiled_auto.checksum)
+                    ? 1.0
+                    : 0.0,
                 std::monostate{}});
   run.emit(host);
   run.record_value("host.clover2d.eager_s", "s", benchjson::Better::Lower,
                    eager.elapsed);
   run.record_value("host.clover2d.tiled_s", "s", benchjson::Better::Lower,
                    tiled.elapsed);
+  run.record_value("host.clover2d.tiled_par_s", "s", benchjson::Better::Lower,
+                   tiled_par.elapsed);
+  run.record_value("host.clover2d.tiled_auto_s", "s", benchjson::Better::Lower,
+                   tiled_auto.elapsed);
+  run.record_value("host.clover2d.auto_tile_height", "rows",
+                   benchjson::Better::Higher, static_cast<double>(auto_h));
   run.finish();
   if (!cli.get_bool("csv", false))
     std::cout << "Note: on a host with few cores these kernels are\n"

@@ -48,6 +48,7 @@
 #include "core/causal.hpp"
 #include "core/config.hpp"
 #include "core/report.hpp"
+#include "core/tuning.hpp"
 
 using namespace bwlab;
 
@@ -94,7 +95,8 @@ int main(int argc, char** argv) {
     std::cout << "usage: " << cli.program() << " [APP | --app=NAME] [options]\n"
               << "  apps: " << kApps << "\n"
               << "  --n=N --iters=I --ranks=R --threads=T --tiled\n"
-              << "  --tile-size=S --mode=0|1|2 --scenario=K --seed=S\n"
+              << "  --tile-size=S --tile=auto|H --mode=0|1|2 --scenario=K\n"
+              << "  --seed=S\n"
               << "  --trace=FILE --metrics=FILE --report=FILE --summary\n"
               << "  --causal --trace-buffer=N\n"
               << "  --machine=ID --attr-tol=X\n"
@@ -112,6 +114,23 @@ int main(int argc, char** argv) {
   opt.threads = static_cast<int>(cli.get_int("threads", 1));
   opt.tiled = cli.get_bool("tiled", false);
   opt.tile_size = cli.get_int("tile-size", 0);
+  // The attribution machine also scopes the tile-height auto-tuner's
+  // cache budget, so resolve it before dispatch.
+  const sim::MachineModel& machine =
+      sim::machine_by_id(cli.get("machine", "max9480"));
+  const std::string tile = cli.get("tile", "");
+  if (!tile.empty()) {
+    // --tile=H implies --tiled; --tile=auto lets the executor size the
+    // tile from the chain footprint and the machine's cache capacity.
+    opt.tiled = true;
+    if (tile == "auto") {
+      opt.tile_size = 0;
+      opt.tile_cache_bytes =
+          core::tile_cache_budget_bytes(machine, std::max(opt.threads, 1));
+    } else {
+      opt.tile_size = std::stoll(tile);
+    }
+  }
   opt.exec_mode = static_cast<int>(cli.get_int("mode", 0));
   opt.scenario = static_cast<int>(cli.get_int("scenario", 0));
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
@@ -163,8 +182,6 @@ int main(int argc, char** argv) {
   }
   // Roofline attribution: the measured loop records vs the chosen
   // machine model's predictions at the run's own scale.
-  const sim::MachineModel& machine =
-      sim::machine_by_id(cli.get("machine", "max9480"));
   const core::AttributionReport attr = core::attribute(
       result.instr, machine,
       core::default_config(machine, app_class(app)),

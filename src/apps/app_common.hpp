@@ -21,8 +21,12 @@ struct Options {
   int iterations = 5;   ///< time steps / solver iterations
   int ranks = 1;        ///< SimMPI ranks (1 = no message passing)
   int threads = 1;      ///< thread-team size within a rank
-  bool tiled = false;   ///< CloverLeaf 2D: run through the tiling executor
-  idx_t tile_size = 0;  ///< tile height (0 = default)
+  bool tiled = false;   ///< structured apps: run through the tiling executor
+  idx_t tile_size = 0;  ///< tile height (0 = auto-tune from cache budget)
+  /// Cache budget (bytes) for the tile-height auto-tuner; 0 keeps the
+  /// context's host default. run_app fills it from the machine model when
+  /// `--tile=auto` is given (core::tile_cache_budget_bytes).
+  double tile_cache_bytes = 0;
   int exec_mode = 0;    ///< unstructured apps: 0 serial, 1 vec, 2 colored
   int scenario = 0;     ///< app-specific test scenario (0 = default)
   std::uint64_t seed = 12345;  ///< synthetic input seed

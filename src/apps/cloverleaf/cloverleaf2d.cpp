@@ -406,6 +406,8 @@ Result run(const Options& opt) {
              : std::make_unique<ops::Context>(opt.threads);
     // Tiled chains need halo depth >= the chain's accumulated radius.
     const int depth = opt.tiled ? 16 : 2;
+    if (opt.tile_cache_bytes > 0)
+      ctx->set_tile_cache_bytes(opt.tile_cache_bytes);
     Solver s(*ctx, opt.n, depth);
     s.initialize();
     int start = 0;

@@ -351,7 +351,23 @@ struct Solver {
     return s;
   }
 
-  void step(double dt) {
+  void step(double dt, bool tiled, idx_t tile_size) {
+    if (!tiled) {
+      ideal_gas();
+      calc_viscosity();
+      accelerate(dt);
+      wall_bcs();
+      flux_calc(dt);
+      advec_sweep<0>("advec_x3", flux_x);
+      advec_sweep<1>("advec_y3", flux_y);
+      advec_sweep<2>("advec_z3", flux_z);
+      advec_mom(dt);
+      wall_bcs();
+      return;
+    }
+    // Tiled: the whole step as one lazy chain through the skewed
+    // cache-blocking executor, as in CloverLeaf 2D (Figure 9).
+    ctx.set_lazy(true);
     ideal_gas();
     calc_viscosity();
     accelerate(dt);
@@ -362,6 +378,8 @@ struct Solver {
     advec_sweep<2>("advec_z3", flux_z);
     advec_mom(dt);
     wall_bcs();
+    ctx.set_lazy(false);
+    ctx.chain().execute_tiled(tile_size);
   }
 };
 
@@ -374,7 +392,11 @@ Result run(const Options& opt) {
     std::unique_ptr<ops::Context> ctx =
         comm ? std::make_unique<ops::Context>(*comm, opt.threads)
              : std::make_unique<ops::Context>(opt.threads);
-    Solver s(*ctx, opt.n, 2);
+    // Tiled chains need halo depth >= the chain's accumulated radius.
+    const int depth = opt.tiled ? 16 : 2;
+    if (opt.tile_cache_bytes > 0)
+      ctx->set_tile_cache_bytes(opt.tile_cache_bytes);
+    Solver s(*ctx, opt.n, depth);
     s.initialize();
     Timer timer;
     Solver::Summary sum;
@@ -382,7 +404,7 @@ Result run(const Options& opt) {
       fault::on_step(comm ? comm->rank() : 0, it);
       s.ideal_gas();
       const double dt = s.calc_dt();
-      s.step(dt);
+      s.step(dt, opt.tiled, opt.tile_size);
       sum = s.field_summary();
     }
     if (!comm || comm->rank() == 0) {

@@ -67,15 +67,15 @@ struct Solver {
                   ops::Dat<double>(b, std::string(base) + "4", depth)};
   }
 
-  Solver(ops::Context& c, idx_t n_, Variant var)
+  Solver(ops::Context& c, idx_t n_, Variant var, int depth)
       : ctx(c), n(n_), h(2.0 * M_PI / static_cast<double>(n_)),
         // Sound speed at the TGV base state (p0 = 100/gamma, rho = 1) is
         // c = sqrt(gamma p / rho) = 10; CFL 0.2 against it.
         dt(0.2 * h / 10.0),
         variant(var), block(c, "opensbli", 3, {n_, n_, n_}),
-        q(make(block, "q", 2)), q1(make(block, "q1", 2)),
-        res(make(block, "res", 2)), fx(make(block, "fx", 2)),
-        fy(make(block, "fy", 2)), fz(make(block, "fz", 2)) {
+        q(make(block, "q", depth)), q1(make(block, "q1", depth)),
+        res(make(block, "res", depth)), fx(make(block, "fx", depth)),
+        fy(make(block, "fy", depth)), fz(make(block, "fz", depth)) {
     for (DatArr* a : {&q, &q1, &res, &fx, &fy, &fz})
       for (ops::Dat<double>& d : *a) d.set_bc_all(ops::Bc::Periodic);
   }
@@ -301,14 +301,22 @@ struct Solver {
         ops::write(dst[2]), ops::write(dst[3]), ops::write(dst[4]));
   }
 
-  /// One SSP-RK3 step.
-  void step() {
-    compute_residual(q);
-    axpby("stage1", q1, 0.0, q, 1.0, q);  // q1 = q + dt R(q)
-    compute_residual(q1);
-    axpby("stage2", q1, 0.75, q, 0.25, q1);  // q1 = 3/4 q + 1/4 (q1 + dt R)
-    compute_residual(q1);
-    axpby("stage3", q, 1.0 / 3.0, q, 2.0 / 3.0, q1);
+  /// One SSP-RK3 step. Tiled: each RK stage (residual + update) is one
+  /// lazy chain through the skewed cache-blocking executor — the stage
+  /// boundary is a true dependence (the next residual reads the update).
+  void step(bool tiled, idx_t tile_size) {
+    auto stage = [&](DatArr& src, auto&& update) {
+      if (tiled) ctx.set_lazy(true);
+      compute_residual(src);
+      update();
+      if (tiled) {
+        ctx.set_lazy(false);
+        ctx.chain().execute_tiled(tile_size);
+      }
+    };
+    stage(q, [&] { axpby("stage1", q1, 0.0, q, 1.0, q); });
+    stage(q1, [&] { axpby("stage2", q1, 0.75, q, 0.25, q1); });
+    stage(q1, [&] { axpby("stage3", q, 1.0 / 3.0, q, 2.0 / 3.0, q1); });
   }
 
   struct Summary {
@@ -363,13 +371,18 @@ Result run(const Options& opt, Variant variant) {
     std::unique_ptr<ops::Context> ctx =
         comm ? std::make_unique<ops::Context>(*comm, opt.threads)
              : std::make_unique<ops::Context>(opt.threads);
-    Solver s(*ctx, opt.n, variant);
+    // Tiled chains need halo depth >= the chain's accumulated radius
+    // (the SA stage chain accumulates 10: five radius-2 divergences).
+    const int depth = opt.tiled ? 12 : 2;
+    if (opt.tile_cache_bytes > 0)
+      ctx->set_tile_cache_bytes(opt.tile_cache_bytes);
+    Solver s(*ctx, opt.n, variant, depth);
     s.initialize();
     const Solver::Summary s0 = s.summary();
     Timer timer;
     for (int it = 0; it < opt.iterations; ++it) {
       fault::on_step(comm ? comm->rank() : 0, it);
-      s.step();
+      s.step(opt.tiled, opt.tile_size);
     }
     const Solver::Summary s1 = s.summary();
     const double qn = s.q_norm();  // collective: every rank participates

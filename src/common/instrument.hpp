@@ -41,6 +41,16 @@ struct LoopRecord {
   }
 };
 
+/// Accumulated statistics of tiled chain executions (ops::ChainQueue).
+struct TilingRecord {
+  count_t chains = 0;       ///< execute_tiled calls
+  count_t tiles = 0;        ///< tiles executed across all chains
+  idx_t tile_height = 0;    ///< height used by the most recent chain
+  bool auto_tuned = false;  ///< last height came from the auto-tuner
+  double row_bytes = 0;     ///< working-set bytes per tile row (auto only)
+  double cache_budget_bytes = 0;  ///< budget the tuner sized against
+};
+
 /// Accumulated halo-exchange statistics of one Dat.
 struct ExchangeRecord {
   std::string dat_name;
@@ -96,16 +106,21 @@ class Instrumentation {
     return s;
   }
 
+  TilingRecord& tiling() { return tiling_; }
+  const TilingRecord& tiling() const { return tiling_; }
+
   void clear() {
     loops_.clear();
     exchanges_.clear();
     order_.clear();
     ex_order_.clear();
+    tiling_ = TilingRecord{};
   }
 
  private:
   std::map<std::string, LoopRecord> loops_;
   std::map<std::string, ExchangeRecord> exchanges_;
+  TilingRecord tiling_;
   std::vector<std::string> order_;
   std::vector<std::string> ex_order_;
 };

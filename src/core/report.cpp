@@ -130,6 +130,14 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
   }
   os << (first ? "]" : "\n  ]") << ",\n  \"total_loop_seconds\": "
      << instr.total_loop_seconds();
+  if (instr.tiling().chains > 0) {
+    const TilingRecord& t = instr.tiling();
+    os << ",\n  \"tiling\": {\"chains\": " << t.chains
+       << ", \"tiles\": " << t.tiles << ", \"tile_height\": " << t.tile_height
+       << ", \"auto_tuned\": " << (t.auto_tuned ? "true" : "false")
+       << ", \"row_bytes\": " << t.row_bytes
+       << ", \"cache_budget_bytes\": " << t.cache_budget_bytes << "}";
+  }
   if (attr != nullptr) {
     os << ",\n  \"attribution\": {\n    \"machine\": \"";
     write_json_escaped(os, attr->machine_id);

@@ -54,7 +54,9 @@ struct Report;
 }
 
 /// Machine-readable run report: every loop record, every exchange record,
-/// total loop seconds, and (if given) a snapshot of `metrics`, the
+/// total loop seconds, a "tiling" section when the run executed tiled
+/// chains (tile count, height, auto-tuner inputs), and (if given) a
+/// snapshot of `metrics`, the
 /// per-loop roofline attribution (core/attribution.hpp) and the bwcausal
 /// wait-state / critical-path analysis (core/causal.hpp). When the tracer
 /// recorded events, a "trace" section reports total and per-thread

@@ -162,6 +162,18 @@ double tiling_chain_reuse() {
   return 5.0;
 }
 
+double tile_cache_budget_bytes(const sim::MachineModel& m, int threads) {
+  double capacity = 0;
+  for (const sim::CacheLevel& l : m.caches)
+    capacity += l.per_core
+                    ? l.size_bytes * static_cast<double>(threads)
+                    : l.size_bytes * static_cast<double>(threads) /
+                          static_cast<double>(m.cores_per_socket);
+  // Usable fraction: the tile shares the cache with skew-edge overlap,
+  // boundary ghosts and whatever else is resident.
+  return 0.5 * capacity;
+}
+
 double stream_kappa_per_extra_stream(const sim::MachineModel& m) {
   // Calibrated so OpenSBLI SA lands near the paper's ~65-70% of achieved
   // bandwidth on the MAX CPU while the 8360Y stays at its 75-85% band

@@ -71,6 +71,13 @@ double tiling_overhead_factor();
 /// reduction).
 double tiling_chain_reuse();
 
+/// Cache capacity (bytes) available to a `threads`-wide team for the tile
+/// working set on machine `m`: per-core levels scaled by the team size,
+/// shared levels by the team's share of the socket, halved for the usable
+/// fraction (conflict misses, other-resident data, skew edges). Feeds
+/// ops::Context::set_tile_cache_bytes for the tile-height auto-tuner.
+double tile_cache_budget_bytes(const sim::MachineModel& m, int threads);
+
 /// Additional cache-friction per concurrent data stream beyond what the
 /// prefetchers track comfortably: kernels touching many arrays (OpenSBLI
 /// SA's 20-dat flux store) cannot reach STREAM-triad efficiency. Added to

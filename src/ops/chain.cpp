@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
@@ -9,6 +10,63 @@
 #include "ops/dat.hpp"
 
 namespace bwlab::ops {
+
+namespace {
+
+/// The dimension a tile sub-range is split over across the thread team:
+/// the innermost non-tiled dimension with a splittable extent (ties go to
+/// the innermost). Returns -1 when nothing is worth splitting.
+int pick_parallel_dim(const Range& r, int outer_dim) {
+  int best = -1;
+  idx_t best_n = 1;
+  for (int d = 0; d < outer_dim; ++d) {
+    const idx_t n = r.extent(d);
+    if (n > best_n) {
+      best = d;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+/// Runs `body` over `r`, split across the team along pick_parallel_dim.
+/// Chunks are a few times smaller than a static share so the dynamic
+/// schedule can rebalance the uneven pieces of skewed tile edges; writes
+/// are per-point, so any partition is bitwise identical to body(r).
+void execute_range_team(par::ThreadPool* pool, const Range& r, int outer_dim,
+                        const std::function<void(const Range&)>& body) {
+  const int team = pool != nullptr ? pool->size() : 1;
+  const int pdim = team > 1 ? pick_parallel_dim(r, outer_dim) : -1;
+  if (pdim < 0) {
+    body(r);
+    return;
+  }
+  const auto ps = static_cast<std::size_t>(pdim);
+  const idx_t lo = r.lo[ps], hi = r.hi[ps], n = hi - lo;
+  const idx_t chunk =
+      std::max<idx_t>(8, n / (static_cast<idx_t>(team) * 4));
+  const idx_t nchunks = (n + chunk - 1) / chunk;
+  pool->parallel_for(
+      0, nchunks,
+      [&](idx_t ci) {
+        Range sub = r;
+        sub.lo[ps] = lo + ci * chunk;
+        sub.hi[ps] = std::min(hi, sub.lo[ps] + chunk);
+        body(sub);
+      },
+      par::Schedule::Dynamic, 1);
+}
+
+}  // namespace
+
+idx_t auto_tile_height(double bytes_per_row, double cache_budget_bytes,
+                       idx_t min_height, idx_t max_height) {
+  if (max_height < min_height) max_height = min_height;
+  idx_t h = max_height;
+  if (bytes_per_row > 0 && cache_budget_bytes > 0)
+    h = static_cast<idx_t>(cache_budget_bytes / bytes_per_row);
+  return std::clamp(h, min_height, max_height);
+}
 
 void ChainQueue::enqueue(ChainLoop loop) {
   for (const ChainDatUse& u : loop.uses)
@@ -109,15 +167,29 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
   trace::TraceSpan chain_span(trace::Cat::Region, "chain.tiled");
   const int n = static_cast<int>(loops_.size());
 
-  // Skew offsets: sigma_i = sum of read radii of loops AFTER i. Loop i is
-  // shifted up by sigma_i so that for j < i, sigma_j - sigma_i >= r_i:
-  // every read of loop i lands on rows loop j has already produced within
-  // this or an earlier tile.
+  // Skew offsets, built backwards from the last loop. Two dependence
+  // families bound sigma_i from below:
+  //   RAW  — loop j > i reads what i wrote with radius r_j: the chain sum
+  //          sigma_i >= sigma_{i+1} + r_{i+1} telescopes to
+  //          sigma_i - sigma_j >= r_j for every downstream reader.
+  //   WAR  — loop j > i REwrites a dat loop i reads with radius r_i^D:
+  //          tile T's pass of loop j must not clobber rows tile T+1's
+  //          pass of loop i still reads, so sigma_i >= sigma_j + r_i^D.
+  // Monotone non-increasing sigma (implied by the chain sum) also orders
+  // same-dat writes correctly (WAW: the later loop's value wins per row).
   std::vector<int> sigma(static_cast<std::size_t>(n), 0);
-  for (int i = n - 2; i >= 0; --i)
-    sigma[static_cast<std::size_t>(i)] =
-        sigma[static_cast<std::size_t>(i + 1)] +
-        loops_[static_cast<std::size_t>(i + 1)].read_radius;
+  for (int i = n - 2; i >= 0; --i) {
+    const auto is = static_cast<std::size_t>(i);
+    int s = sigma[is + 1] + loops_[is + 1].read_radius;
+    for (int j = i + 1; j < n; ++j)
+      for (const ChainDatUse& w : loops_[static_cast<std::size_t>(j)].uses) {
+        if (!w.is_written) continue;
+        for (const ChainDatUse& r : loops_[is].uses)
+          if (r.is_read && r.id == w.id)
+            s = std::max(s, sigma[static_cast<std::size_t>(j)] + r.read_radius);
+      }
+    sigma[is] = s;
+  }
 
   // Halo depth must cover the redundant-compute extension plus the reads
   // of the first loop.
@@ -151,15 +223,47 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
     axis_lo = std::min(axis_lo, r.lo[od] - sigma[static_cast<std::size_t>(i)]);
     axis_hi = std::max(axis_hi, r.hi[od] - sigma[static_cast<std::size_t>(i)]);
   }
-  if (tile_outer <= 0) tile_outer = std::max<idx_t>(8, (axis_hi - axis_lo) / 8);
+  // Auto-tune the tile height: size the tile so the chain's working set
+  // (every unique dat's bytes per outer row, times the height) fits the
+  // context's cache budget. The floor is the chain's total stencil
+  // extension — a shorter tile would be all skew edge.
+  const bool auto_tuned = tile_outer <= 0;
+  double row_bytes = 0;
+  if (auto_tuned) {
+    std::set<const void*> seen;
+    for (const ChainLoop& l : loops_)
+      for (const ChainDatUse& u : l.uses) {
+        if (!seen.insert(u.id).second) continue;
+        double bytes = static_cast<double>(u.elem_bytes);
+        for (int d = 0; d < outer_dim; ++d)
+          bytes *= static_cast<double>(u.alloc_extent[static_cast<std::size_t>(d)]);
+        row_bytes += bytes;
+      }
+    tile_outer = auto_tile_height(row_bytes, ctx_->tile_cache_bytes(),
+                                  std::max<idx_t>(needed_depth, 1),
+                                  std::max<idx_t>(axis_hi - axis_lo, 1));
+  }
 
+  TilingRecord& tiling = ctx_->instr().tiling();
+  tiling.chains += 1;
+  tiling.tile_height = tile_outer;
+  tiling.auto_tuned = auto_tuned;
+  if (auto_tuned) {
+    tiling.row_bytes = row_bytes;
+    tiling.cache_budget_bytes = ctx_->tile_cache_bytes();
+  }
+
+  par::ThreadPool* pool = ctx_->pool();
   static Counter& tiles =
       MetricsRegistry::global().counter("ops.tiles_executed");
-  for (idx_t b0 = axis_lo; b0 < axis_hi; b0 += tile_outer) {
+  idx_t tile_idx = 0;
+  for (idx_t b0 = axis_lo; b0 < axis_hi; b0 += tile_outer, ++tile_idx) {
     const idx_t b1 = std::min(axis_hi, b0 + tile_outer);
-    trace::TraceSpan tile_span(trace::Cat::Tile, "tile");
+    trace::TraceSpan tile_span(trace::Cat::Tile, "tile",
+                               std::to_string(tile_idx));
     trace::counter("tile.start_row", static_cast<double>(b0));
     tiles.inc();
+    tiling.tiles += 1;
     for (int i = 0; i < n; ++i) {
       ChainLoop& l = loops_[static_cast<std::size_t>(i)];
       Range r = ext[static_cast<std::size_t>(i)];
@@ -171,12 +275,16 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
       Timer t;
       {
         trace::TraceSpan span(trace::Cat::Kernel, l.name);
-        l.body(r);
+        // Split this loop's tile sub-range over the thread team. Bodies
+        // are strictly serial range executors (see par_loop), so the
+        // partition is safe and bitwise identical to a serial sweep.
+        execute_range_team(pool, r, outer_dim, l.body);
       }
       ctx_->instr().loop(l.name).host_seconds += t.elapsed();
       // Physical-boundary ghosts of freshly-written dats must track the
       // interior inside the chain (reads in the next loops of this tile
-      // touch only rows this refresh sees as current).
+      // touch only rows this refresh sees as current). Runs after the
+      // team join, on the calling thread.
       for (const ChainDatUse& u : l.uses)
         if (u.is_written) u.refresh_bcs(r.lo[od], r.hi[od]);
     }

@@ -15,7 +15,12 @@
 //    over skewed sub-ranges: loop i is shifted up by the suffix radius sum
 //    so every read of an earlier loop's output lands on already-computed
 //    rows. The union of a loop's sub-ranges across tiles is exactly its
-//    range — no point is executed twice within a rank.
+//    range — no point is executed twice within a rank. Within a tile each
+//    loop's sub-range is itself split over the rank's thread team along
+//    the innermost non-tiled dimension (dynamic schedule, so the skewed
+//    tile edges don't serialize on the slowest thread) — the intra-tile
+//    threading of the OPS tiled executor. Loop bodies are strictly
+//    serial range executors, so the partition never changes results.
 //  * physical-boundary ghost fills of written dats are refreshed after
 //    each producing loop inside each tile, so boundary reads observe
 //    current values exactly as in untiled execution.
@@ -46,6 +51,10 @@ struct ChainDatUse {
   int read_radius = 0;  ///< max stencil radius of the read
   int halo_depth = 0;
   std::array<bool, 3> periodic{false, false, false};
+  std::size_t elem_bytes = 0;  ///< sizeof the dat element
+  /// Allocated extent (owned + halos) per dimension; the auto-tuner
+  /// multiplies the non-tiled extents into a bytes-per-tile-row footprint.
+  std::array<idx_t, 3> alloc_extent{1, 1, 1};
   std::function<void()> exchange;    ///< Dat::exchange_halos
   std::function<void()> mark_dirty;  ///< Dat::mark_halos_dirty
   /// Dat::refresh_physical_bcs restricted to outer rows [lo, hi).
@@ -72,7 +81,13 @@ class ChainQueue {
   void clear() { loops_.clear(); }
 
   /// Tiled execution (see file header). `tile_outer` is the tile height in
-  /// the outermost dimension; pass 0 to pick sqrt-ish default.
+  /// the outermost dimension; pass 0 to auto-tune it: the height is sized
+  /// so the chain's per-tile working set (unique dats x bytes per tile
+  /// row) fits the context's tile cache budget, floored at the chain's
+  /// total stencil extension. Within each tile every loop's sub-range is
+  /// executed across the context's thread team (dynamic schedule over the
+  /// innermost non-tiled dimension); results stay bitwise identical to
+  /// untiled execution for every tile height and team size.
   void execute_tiled(idx_t tile_outer);
 
   /// Reference execution: loop-by-loop with per-loop halo exchanges, same
@@ -100,5 +115,13 @@ class ChainQueue {
 void enqueue_lazy(Context& ctx, const LoopMeta& meta, Block& b,
                   const Range& range, std::function<void(const Range&)> body,
                   std::vector<ChainDatUse> uses);
+
+/// Tile-height policy of execute_tiled(0): the largest height whose
+/// working set (height x bytes_per_row) fits the cache budget, clamped to
+/// [min_height, max_height]. min_height is the chain's total stencil
+/// extension (a shorter tile would be all skew edge); pure arithmetic so
+/// the choice is testable without a machine model.
+idx_t auto_tile_height(double bytes_per_row, double cache_budget_bytes,
+                       idx_t min_height, idx_t max_height);
 
 }  // namespace bwlab::ops

@@ -43,6 +43,16 @@ class Context {
   void set_lazy(bool lazy) { lazy_ = lazy; }
   ChainQueue& chain();
 
+  /// Cache budget (bytes) the tile-height auto-tuner sizes tiles against.
+  /// Defaults to a conservative 1 MiB of effective cache per team thread;
+  /// apps override it from the machine model (core::tile_cache_budget_bytes)
+  /// when one is selected.
+  double tile_cache_bytes() const {
+    return tile_cache_bytes_ > 0 ? tile_cache_bytes_
+                                 : 1048576.0 * threads();
+  }
+  void set_tile_cache_bytes(double bytes) { tile_cache_bytes_ = bytes; }
+
   /// Monotone id source for Dats (used to build unique message tags).
   int next_dat_id() { return dat_id_counter_++; }
 
@@ -51,6 +61,7 @@ class Context {
   std::unique_ptr<par::ThreadPool> pool_;
   Instrumentation instr_;
   bool lazy_ = false;
+  double tile_cache_bytes_ = 0;  ///< 0 = host default (see accessor)
   std::unique_ptr<ChainQueue> chain_;
   int dat_id_counter_ = 0;
 };

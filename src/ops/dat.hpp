@@ -206,10 +206,20 @@ class Dat {
         const auto os = static_cast<std::size_t>(outer);
         const idx_t lo_clip = outer_lo - 2 * depth_;
         const idx_t hi_clip = outer_hi + 2 * depth_;
-        low.lo[os] = std::max(low.lo[os], lo_clip);
-        low.hi[os] = std::min(low.hi[os], hi_clip);
-        high.lo[os] = std::max(high.lo[os], lo_clip);
-        high.hi[os] = std::min(high.hi[os], hi_clip);
+        if (d != outer) {
+          // Mid-chain, ghost rows of the outer dimension hold redundantly
+          // computed (periodic-image) values, so the non-outer faces must
+          // cover them too; base_box spans only the exec range.
+          low.lo[os] = std::max(alo_[os], lo_clip);
+          low.hi[os] = std::min(ahi_[os], hi_clip);
+          high.lo[os] = std::max(alo_[os], lo_clip);
+          high.hi[os] = std::min(ahi_[os], hi_clip);
+        } else {
+          low.lo[os] = std::max(low.lo[os], lo_clip);
+          low.hi[os] = std::min(low.hi[os], hi_clip);
+          high.lo[os] = std::max(high.lo[os], lo_clip);
+          high.hi[os] = std::min(high.hi[os], hi_clip);
+        }
       }
       if (block_->neighbor(d, -1) < 0) fill_bc(d, 0, low);
       if (block_->neighbor(d, +1) < 0) fill_bc(d, 1, high);

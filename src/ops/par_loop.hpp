@@ -284,8 +284,12 @@ ChainDatUse dat_use(Dat<T>* d) {
   u.id = d;
   u.name = d->name();
   u.halo_depth = d->halo_depth();
-  for (int dim = 0; dim < 3; ++dim)
+  u.elem_bytes = Dat<T>::elem_bytes();
+  for (int dim = 0; dim < 3; ++dim) {
     u.periodic[static_cast<std::size_t>(dim)] = d->bc(dim, 0) == Bc::Periodic;
+    u.alloc_extent[static_cast<std::size_t>(dim)] =
+        d->alloc_hi(dim) - d->alloc_lo(dim);
+  }
   u.exchange = [d] { d->exchange_halos(); };
   u.mark_dirty = [d] { d->mark_halos_dirty(); };
   u.refresh_bcs = [d](idx_t lo, idx_t hi) { d->refresh_physical_bcs(lo, hi); };
@@ -351,50 +355,72 @@ void par_loop(const LoopMeta& meta, Block& b, const Range& range,
   rec.bytes += pts * bytes_pp;
   rec.flops += static_cast<double>(pts) * meta.flops_per_point;
 
-  // 3+4. Execute.
-  auto execute_over = [&ctx, kernel, args...](const Range& rr) mutable {
+  // 3+4. Execute. exec_range runs exactly the given range on the calling
+  // thread (own bound-argument copies per call, no pool access) and
+  // returns the bound tuple so reduction partials can be merged.
+  auto exec_range = [kernel, args...](const Range& rr) mutable {
+    auto bound = std::make_tuple(detail::bind(args)...);
+    const bool is3d = rr.hi[2] - rr.lo[2] > 1 || rr.lo[2] != 0;
+    if (is3d) {
+      for (idx_t k = rr.lo[2]; k < rr.hi[2]; ++k)
+        for (idx_t j = rr.lo[1]; j < rr.hi[1]; ++j)
+          for (idx_t i = rr.lo[0]; i < rr.hi[0]; ++i)
+            std::apply(
+                [&](auto&... bs) { kernel(bs.at(i, j, k)...); }, bound);
+    } else {
+      for (idx_t j = rr.lo[1]; j < rr.hi[1]; ++j)
+        for (idx_t i = rr.lo[0]; i < rr.hi[0]; ++i)
+          std::apply([&](auto&... bs) { kernel(bs.at(i, j, 0)...); },
+                     bound);
+    }
+    return bound;
+  };
+
+  auto execute_over = [&ctx, exec_range, has_red](const Range& rr) mutable {
     if (rr.empty()) return;
     par::ThreadPool* pool = ctx.pool();
-    const int team = (pool != nullptr && !(detail::is_reduction(args) || ...))
-                         ? pool->size()
-                         : (pool != nullptr ? pool->size() : 1);
-    auto run_chunk = [&](idx_t out_lo, idx_t out_hi) {
-      auto bound = std::make_tuple(detail::bind(args)...);
-      const bool is3d = rr.hi[2] - rr.lo[2] > 1 || rr.lo[2] != 0;
-      if (is3d) {
-        for (idx_t k = out_lo; k < out_hi; ++k)
-          for (idx_t j = rr.lo[1]; j < rr.hi[1]; ++j)
-            for (idx_t i = rr.lo[0]; i < rr.hi[0]; ++i)
-              std::apply(
-                  [&](auto&... bs) { kernel(bs.at(i, j, k)...); }, bound);
-      } else {
-        for (idx_t j = out_lo; j < out_hi; ++j)
-          for (idx_t i = rr.lo[0]; i < rr.hi[0]; ++i)
-            std::apply([&](auto&... bs) { kernel(bs.at(i, j, 0)...); },
-                       bound);
-      }
-      return bound;
-    };
-    // Parallelize the outermost active dimension across the team; thread-
-    // local reduction slots are merged sequentially after the join.
+    // The team spans reductions too: every member accumulates into its
+    // own bound copies, merged on this thread after the join.
+    const int team = pool != nullptr ? pool->size() : 1;
     const int outer_dim = (rr.hi[2] - rr.lo[2] > 1) ? 2 : 1;
-    const idx_t olo = rr.lo[static_cast<std::size_t>(outer_dim)];
-    const idx_t ohi = rr.hi[static_cast<std::size_t>(outer_dim)];
-    if (team <= 1) {
-      auto bound = run_chunk(olo, ohi);
-      std::apply([](auto&... bs) { (bs.merge(), ...); }, bound);
+    const auto od = static_cast<std::size_t>(outer_dim);
+    const idx_t olo = rr.lo[od];
+    const idx_t ohi = rr.hi[od];
+    auto sub_range = [&](idx_t out_lo, idx_t out_hi) {
+      Range sub = rr;
+      sub.lo[od] = out_lo;
+      sub.hi[od] = out_hi;
+      return sub;
+    };
+    if (has_red) {
+      // One reduction partial per outer index, merged in ascending order,
+      // so the result is bitwise identical for every team size (the
+      // association never depends on how rows were dealt to threads).
+      using BoundTuple = decltype(exec_range(rr));
+      // Every element is assigned by fill() before the merge, so the
+      // default-constructed placeholders are never read.
+      std::vector<BoundTuple> rows(static_cast<std::size_t>(ohi - olo));
+      auto fill = [&](idx_t o) {
+        rows[static_cast<std::size_t>(o - olo)] =
+            exec_range(sub_range(o, o + 1));
+      };
+      if (team <= 1) {
+        for (idx_t o = olo; o < ohi; ++o) fill(o);
+      } else {
+        pool->parallel_for(olo, ohi, fill);
+      }
+      for (auto& bound : rows)
+        std::apply([](auto&... bs) { (bs.merge(), ...); }, bound);
       return;
     }
-    using BoundTuple = decltype(std::make_tuple(detail::bind(args)...));
-    std::vector<BoundTuple> results;
-    results.resize(static_cast<std::size_t>(team),
-                   std::make_tuple(detail::bind(args)...));
+    if (team <= 1) {
+      exec_range(rr);
+      return;
+    }
     pool->run([&](int tid) {
       const auto [clo, chi] = pool->chunk(olo, ohi, tid);
-      results[static_cast<std::size_t>(tid)] = run_chunk(clo, chi);
+      if (clo < chi) exec_range(sub_range(clo, chi));
     });
-    for (auto& bound : results)
-      std::apply([](auto&... bs) { (bs.merge(), ...); }, bound);
   };
 
   if (ctx.lazy()) {
@@ -405,7 +431,16 @@ void par_loop(const LoopMeta& meta, Block& b, const Range& range,
                               "chain first");
     std::vector<ChainDatUse> uses;
     (detail::add_use(uses, args), ...);
-    enqueue_lazy(ctx, meta, b, range, execute_over, std::move(uses));
+    // The enqueued body is strictly serial: the tiled chain executor owns
+    // the threading (it dispatches disjoint pieces of each tile across
+    // the team), so the body must be safe to call concurrently and must
+    // never re-enter the pool.
+    enqueue_lazy(
+        ctx, meta, b, range,
+        [exec_range](const Range& rr) mutable {
+          if (!rr.empty()) exec_range(rr);
+        },
+        std::move(uses));
     return;
   }
 

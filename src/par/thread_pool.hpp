@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <utility>
@@ -17,6 +18,13 @@
 #include "common/types.hpp"
 
 namespace bwlab::par {
+
+/// Iteration-to-thread mapping of parallel_for. Static splits [begin, end)
+/// into one contiguous chunk per thread up front; Dynamic hands out
+/// `chunk`-sized pieces from a shared counter, so unevenly-sized work —
+/// the skewed edge sub-ranges of the tiling executor — does not serialize
+/// on the slowest thread.
+enum class Schedule { Static, Dynamic };
 
 class ThreadPool {
  public:
@@ -34,13 +42,29 @@ class ThreadPool {
   /// returns when all are done.
   void run(const std::function<void(int)>& fn);
 
-  /// Static-schedule parallel loop over [begin, end).
+  /// Parallel loop over [begin, end). Static schedule by default; pass
+  /// Schedule::Dynamic (with an optional grain size, default 1) for
+  /// work-stealing-style load balance on uneven iterations.
   template <class F>
-  void parallel_for(idx_t begin, idx_t end, F&& f) {
+  void parallel_for(idx_t begin, idx_t end, F&& f,
+                    Schedule sched = Schedule::Static, idx_t grain = 1) {
     if (end <= begin) return;
     const idx_t n = end - begin;
     if (threads_ == 1 || n == 1) {
       for (idx_t i = begin; i < end; ++i) f(i);
+      return;
+    }
+    if (sched == Schedule::Dynamic) {
+      const idx_t step = std::max<idx_t>(grain, 1);
+      std::atomic<idx_t> next{begin};
+      run([&](int) {
+        for (;;) {
+          const idx_t lo = next.fetch_add(step, std::memory_order_relaxed);
+          if (lo >= end) return;
+          const idx_t hi = std::min(end, lo + step);
+          for (idx_t i = lo; i < hi; ++i) f(i);
+        }
+      });
       return;
     }
     run([&](int tid) {

@@ -16,8 +16,10 @@
 #include "common/benchjson.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "core/app_registry.hpp"
 #include "core/attribution.hpp"
 #include "core/config.hpp"
+#include "core/perf_model.hpp"
 #include "core/report.hpp"
 #include "sim/machine.hpp"
 
@@ -216,6 +218,35 @@ TEST(BenchEnv, RepetitionOverride) {
   EXPECT_EQ(benchjson::repetitions(5), 9);
   ASSERT_EQ(unsetenv("BWBENCH_REPS"), 0);
   EXPECT_EQ(benchjson::repetitions(5), 5);
+}
+
+TEST(BenchEnv, Fig9ModelMetricsIdenticalAcrossRepCounts) {
+  // The BENCH_fig9 model metrics (predicted tiling speedups) are pure
+  // functions of machine model and profile; the BWBENCH_REPS sampling
+  // knob must not move them by a single bit.
+  auto model_speedups = [] {
+    const core::AppProfile& prof = core::app_by_id("cloverleaf2d").profile;
+    std::vector<double> out;
+    for (const sim::MachineModel* m :
+         {&sim::max9480(), &sim::icx8360y(), &sim::milanx()}) {
+      core::PerfModel pm(*m);
+      const core::Config c =
+          core::default_config(*m, core::AppClass::Structured);
+      out.push_back(pm.predict(prof, c).total() /
+                    pm.predict_tiled(prof, c).total());
+    }
+    return out;
+  };
+  ASSERT_EQ(setenv("BWBENCH_REPS", "3", 1), 0);
+  const std::vector<double> reps3 = model_speedups();
+  ASSERT_EQ(setenv("BWBENCH_REPS", "9", 1), 0);
+  const std::vector<double> reps9 = model_speedups();
+  ASSERT_EQ(unsetenv("BWBENCH_REPS"), 0);
+  ASSERT_EQ(reps3.size(), reps9.size());
+  for (std::size_t i = 0; i < reps3.size(); ++i)
+    EXPECT_EQ(reps3[i], reps9[i]) << "machine index " << i;
+  // Sanity: the model still predicts a tiling win everywhere.
+  for (const double s : reps3) EXPECT_GT(s, 1.0);
 }
 
 // --- Roofline attribution ----------------------------------------------------

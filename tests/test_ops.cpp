@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <tuple>
 
+#include "apps/cloverleaf/cloverleaf2d.hpp"
+#include "core/report.hpp"
 #include "ops/chain.hpp"
 #include "ops/par_loop.hpp"
 
@@ -319,6 +323,142 @@ TEST(Tiling, RejectsInsufficientHaloDepth) {
   chain.run_loops();
   ctx.set_lazy(false);
   EXPECT_THROW(ctx.chain().execute_tiled(8), Error);
+}
+
+/// Tiled execution with a thread team must stay bitwise equal to the
+/// eager serial reference for every (tile height, pool size) pair —
+/// including degenerate tiles taller than the domain.
+class TiledParallel
+    : public ::testing::TestWithParam<std::tuple<idx_t, int>> {};
+
+TEST_P(TiledParallel, BitwiseEqualToEagerSerial) {
+  const auto [tile, pool] = GetParam();
+  Context eager_ctx;  // 1 thread: the reference
+  Chain eager(eager_ctx, 8);
+  eager.run_loops();
+  const double ref = eager.checksum();
+
+  Context tiled_ctx(pool);
+  Chain tiled(tiled_ctx, 8);
+  tiled_ctx.set_lazy(true);
+  tiled.run_loops();
+  tiled_ctx.set_lazy(false);
+  tiled_ctx.chain().execute_tiled(tile);
+  // Exact equality: per-point writes partition cleanly over the team and
+  // the checksum reduction merges per-row partials in a fixed order.
+  EXPECT_EQ(tiled.checksum(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TiledParallel,
+    ::testing::Combine(::testing::Values<idx_t>(3, 8, 40, 100),
+                       ::testing::Values(1, 2, 4)));
+
+/// Satellite regression for the par_loop team-size fix: reductions go
+/// through per-thread (per-row) partials and must merge to the same bits
+/// on every team size.
+TEST(ParLoop, ReductionBitwiseIdenticalAcrossTeamSizes) {
+  auto run_sum = [](int threads) {
+    Context ctx(threads);
+    Block b(ctx, "g", 2, {37, 29, 1});  // odd extents: uneven chunks
+    Dat<double> u(b, "u", 1);
+    u.fill_indexed([](idx_t i, idx_t j, idx_t) {
+      return std::sin(0.7 * double(i)) * std::cos(0.3 * double(j)) + 1e-7;
+    });
+    double s = 0;
+    par_loop({"s", 0.0}, b, Range::make2d(0, 37, 0, 29),
+             [](Acc<const double> a, double& acc) { acc += a(0, 0); },
+             read(u), reduce_sum(s));
+    return s;
+  };
+  const double ref = run_sum(1);
+  EXPECT_EQ(run_sum(2), ref);
+  EXPECT_EQ(run_sum(3), ref);
+  EXPECT_EQ(run_sum(4), ref);
+}
+
+// --- Tile-height auto-tuner --------------------------------------------------
+
+TEST(AutoTileHeight, ShrinksMonotonicallyWithCache) {
+  const double row = 64.0 * 1024.0;  // 64 KiB per tile row
+  idx_t prev = 1 << 20;
+  for (double cache = 64e6; cache >= 1e5; cache /= 2) {
+    const idx_t h = auto_tile_height(row, cache, 4, 4096);
+    EXPECT_LE(h, prev) << "cache " << cache;
+    prev = h;
+  }
+  // Large cache saturates at the domain, tiny cache at the floor.
+  EXPECT_EQ(auto_tile_height(row, 1e12, 4, 4096), 4096);
+  EXPECT_EQ(auto_tile_height(row, 1.0, 4, 4096), 4);
+}
+
+TEST(AutoTileHeight, RespectsStencilFloorAndDegenerateBounds) {
+  // The floor (the chain's total stencil extension) always wins over the
+  // cache-derived height.
+  EXPECT_EQ(auto_tile_height(1e9, 1.0, 7, 100), 7);
+  // max < min (domain shorter than the extension): degenerate single tile.
+  EXPECT_EQ(auto_tile_height(1024.0, 1e6, 10, 3), 10);
+  // Zero footprint / budget fall back to the largest tile.
+  EXPECT_EQ(auto_tile_height(0.0, 1e6, 2, 50), 50);
+}
+
+TEST(AutoTileHeight, AutoRunRecordsTilingAndMatchesEager) {
+  Context eager_ctx;
+  Chain eager(eager_ctx, 8);
+  eager.run_loops();
+  const double ref = eager.checksum();
+
+  Context ctx(2);
+  ctx.set_tile_cache_bytes(40.0 * 1024.0);  // small budget -> short tiles
+  Chain tiled(ctx, 8);
+  ctx.set_lazy(true);
+  tiled.run_loops();
+  ctx.set_lazy(false);
+  ctx.chain().execute_tiled(0);  // 0 = auto-tune
+  EXPECT_EQ(tiled.checksum(), ref);
+
+  const TilingRecord& rec = ctx.instr().tiling();
+  EXPECT_EQ(rec.chains, 1u);
+  EXPECT_TRUE(rec.auto_tuned);
+  EXPECT_GT(rec.tiles, 1u);  // the budget forces more than one tile
+  // Floor: the chain's total stencil extension (sigma0 + r0 = 4).
+  EXPECT_GE(rec.tile_height, 4);
+  EXPECT_LE(rec.tile_height, 40);
+  EXPECT_GT(rec.row_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(rec.cache_budget_bytes, 40.0 * 1024.0);
+}
+
+TEST(AutoTileHeight, RoundTripsIntoReportJson) {
+  Context ctx;
+  Chain tiled(ctx, 8);
+  ctx.set_lazy(true);
+  tiled.run_loops();
+  ctx.set_lazy(false);
+  ctx.chain().execute_tiled(0);
+  std::ostringstream os;
+  core::write_run_report_json(os, ctx.instr());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"tiling\""), std::string::npos);
+  EXPECT_NE(json.find("\"auto_tuned\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"tile_height\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_budget_bytes\""), std::string::npos);
+}
+
+/// Determinism satellite: a tiled CloverLeaf 2D run must produce the
+/// identical checksum for pool sizes 1, 2 and 4.
+TEST(Tiling, CloverLeaf2DDeterministicAcrossPoolSizes) {
+  auto checksum = [](int threads) {
+    apps::Options o;
+    o.n = 48;
+    o.iterations = 2;
+    o.threads = threads;
+    o.tiled = true;
+    o.tile_size = 8;
+    return apps::clover2d::run(o).checksum;
+  };
+  const double ref = checksum(1);
+  EXPECT_EQ(checksum(2), ref);
+  EXPECT_EQ(checksum(4), ref);
 }
 
 TEST(Tiling, ReductionsRejectedInLazyMode) {

@@ -4,8 +4,13 @@
 // future tuning changes physically sensible.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
+#include <random>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/app_registry.hpp"
 #include "core/perf_model.hpp"
@@ -264,6 +269,180 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2, 3),
                        ::testing::Values(2, 3, 4, 6)),
     bc_rank_name);
+
+// --- Randomized loop-chain fuzzing --------------------------------------------
+//
+// Property: for ANY loop chain — random dat count, random stencil taps and
+// radii, random per-dimension periodicity — tiled-parallel execution is
+// bitwise identical to the eager serial reference for every (tile height,
+// pool size) pair, including degenerate tiles taller than the domain.
+
+constexpr idx_t kFuzzN = 24;
+constexpr int kFuzzDepth = 8;  // covers any chain of <= 4 radius-2 loops
+
+struct FuzzLoop {
+  int src = 0, dst = 0, radius = 0;
+  std::array<int, 6> off{};     // 3 taps x (di, dj), within the box radius
+  std::array<double, 3> coef{};
+};
+
+struct FuzzSpec {
+  int ndats = 2;
+  bool periodic_x = false, periodic_y = false;
+  std::vector<FuzzLoop> loops;
+};
+
+FuzzSpec random_spec(std::mt19937& rng) {
+  auto ri = [&](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
+  };
+  FuzzSpec s;
+  s.ndats = ri(2, 4);
+  s.periodic_x = ri(0, 1) == 1;
+  s.periodic_y = ri(0, 1) == 1;
+  const int nloops = ri(2, 4);
+  for (int l = 0; l < nloops; ++l) {
+    FuzzLoop fl;
+    fl.src = ri(0, s.ndats - 1);
+    do {
+      fl.dst = ri(0, s.ndats - 1);
+    } while (fl.dst == fl.src);
+    fl.radius = ri(0, 2);
+    for (int t = 0; t < 3; ++t) {
+      fl.off[static_cast<std::size_t>(2 * t)] = ri(-fl.radius, fl.radius);
+      fl.off[static_cast<std::size_t>(2 * t + 1)] = ri(-fl.radius, fl.radius);
+      fl.coef[static_cast<std::size_t>(t)] =
+          0.1 + 0.3 * static_cast<double>(ri(0, 100)) / 100.0;
+    }
+    s.loops.push_back(fl);
+  }
+  return s;
+}
+
+using DatPtrs = std::vector<std::unique_ptr<Dat<double>>>;
+
+DatPtrs make_fuzz_dats(Block& b, const FuzzSpec& spec) {
+  DatPtrs dats;
+  for (int d = 0; d < spec.ndats; ++d) {
+    auto dat = std::make_unique<Dat<double>>(b, "f" + std::to_string(d),
+                                             kFuzzDepth);
+    // Periodicity is per dimension and uniform across dats (tiled chains
+    // require that); the non-periodic alternative still has halo reads.
+    for (int side = 0; side < 2; ++side) {
+      dat->set_bc(0, side,
+                  spec.periodic_x ? Bc::Periodic : Bc::CopyNearest);
+      dat->set_bc(1, side,
+                  spec.periodic_y ? Bc::Periodic : Bc::CopyNearest);
+    }
+    const double phase = 0.1 * static_cast<double>(d + 1);
+    dat->fill_indexed([phase](idx_t i, idx_t j, idx_t) {
+      return std::sin(phase * double(i)) + std::cos(0.3 * phase * double(j));
+    });
+    dats.push_back(std::move(dat));
+  }
+  return dats;
+}
+
+void run_fuzz_loops(Block& b, DatPtrs& dats, const FuzzSpec& spec) {
+  for (std::size_t li = 0; li < spec.loops.size(); ++li) {
+    const FuzzLoop fl = spec.loops[li];
+    const auto src = static_cast<std::size_t>(fl.src);
+    const auto dst = static_cast<std::size_t>(fl.dst);
+    const auto off = fl.off;
+    const auto coef = fl.coef;
+    auto kernel = [off, coef](Acc<const double> a, Acc<double> o) {
+      o(0, 0) = coef[0] * a(off[0], off[1]) + coef[1] * a(off[2], off[3]) +
+                coef[2] * a(off[4], off[5]);
+    };
+    const Range r = Range::make2d(0, kFuzzN, 0, kFuzzN);
+    if (fl.radius == 0)
+      par_loop({"fz" + std::to_string(li), 2.0}, b, r, kernel,
+               read(*dats[src]), write(*dats[dst]));
+    else
+      par_loop({"fz" + std::to_string(li), 2.0}, b, r, kernel,
+               read(*dats[src], Stencil::box(2, fl.radius)),
+               write(*dats[dst]));
+  }
+}
+
+TEST(FuzzChains, TiledParallelBitwiseEqualsEagerForRandomChains) {
+  const idx_t heights[] = {2, 5, 9, 64, 1000};  // 1000 >> the 24-row domain
+  const int pools[] = {1, 2, 4};
+  std::mt19937 rng(20260805u);
+  for (int trial = 0; trial < 6; ++trial) {
+    const FuzzSpec spec = random_spec(rng);
+    // Eager serial reference.
+    Context ref_ctx;
+    Block ref_b(ref_ctx, "g", 2, {kFuzzN, kFuzzN, 1});
+    DatPtrs ref = make_fuzz_dats(ref_b, spec);
+    run_fuzz_loops(ref_b, ref, spec);
+    for (const idx_t h : heights)
+      for (const int p : pools) {
+        Context ctx(p);
+        Block b(ctx, "g", 2, {kFuzzN, kFuzzN, 1});
+        DatPtrs dats = make_fuzz_dats(b, spec);
+        ctx.set_lazy(true);
+        run_fuzz_loops(b, dats, spec);
+        ctx.set_lazy(false);
+        ctx.chain().execute_tiled(h);
+        for (int d = 0; d < spec.ndats; ++d)
+          for (idx_t j = 0; j < kFuzzN; ++j)
+            for (idx_t i = 0; i < kFuzzN; ++i)
+              ASSERT_EQ(dats[static_cast<std::size_t>(d)]->at(i, j),
+                        ref[static_cast<std::size_t>(d)]->at(i, j))
+                  << "trial " << trial << " tile " << h << " pool " << p
+                  << " dat " << d << " at " << i << "," << j;
+      }
+  }
+}
+
+TEST(FuzzChains, AutoTunedRandomChainsAlsoMatch) {
+  std::mt19937 rng(4242u);
+  for (int trial = 0; trial < 3; ++trial) {
+    const FuzzSpec spec = random_spec(rng);
+    Context ref_ctx;
+    Block ref_b(ref_ctx, "g", 2, {kFuzzN, kFuzzN, 1});
+    DatPtrs ref = make_fuzz_dats(ref_b, spec);
+    run_fuzz_loops(ref_b, ref, spec);
+
+    Context ctx(4);
+    ctx.set_tile_cache_bytes(16.0 * 1024.0);  // force several short tiles
+    Block b(ctx, "g", 2, {kFuzzN, kFuzzN, 1});
+    DatPtrs dats = make_fuzz_dats(b, spec);
+    ctx.set_lazy(true);
+    run_fuzz_loops(b, dats, spec);
+    ctx.set_lazy(false);
+    ctx.chain().execute_tiled(0);  // auto-tuned
+    EXPECT_TRUE(ctx.instr().tiling().auto_tuned);
+    for (int d = 0; d < spec.ndats; ++d)
+      for (idx_t j = 0; j < kFuzzN; ++j)
+        for (idx_t i = 0; i < kFuzzN; ++i)
+          ASSERT_EQ(dats[static_cast<std::size_t>(d)]->at(i, j),
+                    ref[static_cast<std::size_t>(d)]->at(i, j))
+              << "trial " << trial << " dat " << d << " at " << i << ","
+              << j;
+  }
+}
+
+TEST(FuzzChains, RandomChainsRejectReductionsInLazyMode) {
+  std::mt19937 rng(777u);
+  for (int trial = 0; trial < 3; ++trial) {
+    const FuzzSpec spec = random_spec(rng);
+    Context ctx;
+    Block b(ctx, "g", 2, {kFuzzN, kFuzzN, 1});
+    DatPtrs dats = make_fuzz_dats(b, spec);
+    ctx.set_lazy(true);
+    run_fuzz_loops(b, dats, spec);
+    double s = 0;
+    EXPECT_THROW(
+        par_loop({"fzred", 0.0}, b, Range::make2d(0, kFuzzN, 0, kFuzzN),
+                 [](Acc<const double> a, double& acc) { acc += a(0, 0); },
+                 read(*dats[0]), reduce_sum(s)),
+        Error);
+    ctx.set_lazy(false);
+    ctx.chain().clear();
+  }
+}
 
 }  // namespace
 }  // namespace bwlab::ops
