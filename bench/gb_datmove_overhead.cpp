@@ -1,0 +1,92 @@
+// Microbenchmark of the bwmem instrumentation's disabled fast path.
+// Every ops::par_loop / op2::par_loop / chain-tile execution carries a
+// `datmove::enabled()` guard in front of the byte-accounting calls; with
+// the profiler OFF that guard must cost one relaxed atomic load plus a
+// branch (the record/touch arguments must not even be evaluated). This
+// binary measures the guarded loop-hook and reuse-touch sites and FAILS
+// if the median cost exceeds the same 5 ns budget gb_trace_overhead and
+// gb_causal_overhead enforce, so the guard runs under `ctest -L bench`.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.hpp"
+#include "common/instrument.hpp"
+
+using namespace bwlab;
+
+namespace {
+Instrumentation g_instr;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  bench::Runner run(cli, "gb_datmove_overhead");
+
+  constexpr std::uint64_t kIters = 20'000'000;
+  constexpr double kBudgetNs = 5.0;
+
+  datmove::disable();
+  const double add_ns =
+      run.time_ns_per_iter("loop_hook.disabled", kIters, [] {
+        if (datmove::enabled())
+          g_instr.datmove_add("bench.loop", "a", 192, 64);
+      });
+  const double touch_ns =
+      run.time_ns_per_iter("touch_hook.disabled", kIters, [] {
+        if (datmove::enabled()) g_instr.datmove_touch(&g_instr, 256, 256);
+      });
+  const double site_ns =
+      run.time_ns_per_iter("loop_site.disabled", kIters, [] {
+        // The full per-use site as ops::par_loop emits it.
+        if (datmove::enabled()) {
+          g_instr.datmove_add("bench.loop", "a", 192, 64);
+          g_instr.datmove_dat("a", 4096, 256);
+          g_instr.datmove_touch(&g_instr, 256, 256);
+        }
+      });
+
+  // Enabled path for reference only (real map/stack updates; not
+  // asserted).
+  datmove::enable();
+  const double enabled_ns =
+      run.time_ns_per_iter("loop_site.enabled", kIters / 100, [] {
+        if (datmove::enabled()) {
+          g_instr.datmove_add("bench.loop", "a", 192, 64);
+          g_instr.datmove_dat("a", 4096, 256);
+          g_instr.datmove_touch(&g_instr, 256, 256);
+        }
+      });
+  datmove::disable();
+  g_instr.clear();
+
+  std::printf("loop hook, disabled:   %.3f ns (budget %.1f ns)\n", add_ns,
+              kBudgetNs);
+  std::printf("reuse touch, disabled: %.3f ns (budget %.1f ns)\n", touch_ns,
+              kBudgetNs);
+  std::printf("full site, disabled:   %.3f ns (budget %.1f ns)\n", site_ns,
+              kBudgetNs);
+  std::printf("full site, enabled:    %.3f ns (reference only)\n", enabled_ns);
+  run.finish();
+
+  bool fail = false;
+  if (add_ns >= kBudgetNs) {
+    std::fprintf(stderr, "FAIL: disabled loop hook %.3f ns >= %.1f ns budget\n",
+                 add_ns, kBudgetNs);
+    fail = true;
+  }
+  if (touch_ns >= kBudgetNs) {
+    std::fprintf(stderr,
+                 "FAIL: disabled reuse touch %.3f ns >= %.1f ns budget\n",
+                 touch_ns, kBudgetNs);
+    fail = true;
+  }
+  if (site_ns >= kBudgetNs) {
+    std::fprintf(stderr, "FAIL: disabled full site %.3f ns >= %.1f ns budget\n",
+                 site_ns, kBudgetNs);
+    fail = true;
+  }
+  if (fail) return EXIT_FAILURE;
+  std::printf("PASS\n");
+  return 0;
+}

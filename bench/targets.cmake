@@ -73,11 +73,23 @@ target_link_libraries(gb_causal_overhead
 set_target_properties(gb_causal_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# bwmem hot-path guard: the datmove::enabled() byte-accounting guards in
+# the par_loop and chain executors must stay one relaxed load + branch
+# while the profiler is off.
+add_executable(gb_datmove_overhead ${CMAKE_SOURCE_DIR}/bench/gb_datmove_overhead.cpp)
+target_include_directories(gb_datmove_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_datmove_overhead
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
+set_target_properties(gb_datmove_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # The self-checking budget benches double as ctest entries under the
 # "bench" label (`ctest -L bench`), so the perf trip wires run with the
 # suite instead of needing a separate CI step.
 if(BWLAB_BUILD_TESTS)
-  foreach(b gb_trace_overhead gb_fault_overhead gb_causal_overhead)
+  foreach(b gb_trace_overhead gb_fault_overhead gb_causal_overhead
+            gb_datmove_overhead)
     add_test(NAME ${b} COMMAND ${b})
     set_tests_properties(${b} PROPERTIES TIMEOUT 120 LABELS bench)
   endforeach()

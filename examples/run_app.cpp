@@ -13,6 +13,12 @@
 //   --machine=ID    machine model the attribution predicts against
 //                   (default max9480); --attr-tol=X sets the drift
 //                   tolerance (default 0.25).
+//   --datmove       bwmem: count exact per-loop/per-dat bytes moved,
+//                   print the data-movement, tier-traffic, and reuse
+//                   tables, and add a "datmove" section to --report.
+//                   --placement=auto|hbm|ddr picks the dat->tier policy;
+//                   --byte-tol=X sets the counted-vs-modeled byte-drift
+//                   tolerance (default 0.10).
 //
 // Examples:
 //   ./build/examples/run_app --app=clover2d --n=64 --iters=3 --ranks=2
@@ -47,6 +53,7 @@
 #include "core/attribution.hpp"
 #include "core/causal.hpp"
 #include "core/config.hpp"
+#include "core/datmove.hpp"
 #include "core/report.hpp"
 #include "core/tuning.hpp"
 
@@ -99,6 +106,7 @@ int main(int argc, char** argv) {
               << "  --seed=S\n"
               << "  --trace=FILE --metrics=FILE --report=FILE --summary\n"
               << "  --causal --trace-buffer=N\n"
+              << "  --datmove --placement=auto|hbm|ddr\n"
               << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
               << "  --max-restarts=R --nan-guard=0|1|2\n";
@@ -144,6 +152,10 @@ int main(int argc, char** argv) {
   if (!obs.trace_path.empty() || obs.causal)
     trace::enable(static_cast<std::size_t>(
         cli.get_int("trace-buffer", 1LL << 20)));
+  // bwmem: exact data-movement accounting must be armed before dispatch
+  // so every par_loop counts its descriptor x executed-range bytes.
+  const bool datmove_on = cli.get_bool("datmove", false);
+  if (datmove_on) core::DataMoveProfiler::enable();
 
   apps::Result result;
   try {
@@ -185,11 +197,19 @@ int main(int argc, char** argv) {
   const core::AttributionReport attr = core::attribute(
       result.instr, machine,
       core::default_config(machine, app_class(app)),
-      cli.get_double("attr-tol", 0.25));
+      cli.get_double("attr-tol", 0.25),
+      cli.get_double("byte-tol", 0.10));
+  core::DatMoveReport dm;
+  if (datmove_on) {
+    core::DataMoveProfiler::disable();
+    dm = core::DataMoveProfiler::analyze(result.instr, &machine,
+                                         cli.get("placement", "auto"));
+  }
   if (!obs.report_path.empty()) {
     core::write_run_report_json_file(obs.report_path, result.instr,
                                      &MetricsRegistry::global(), &attr,
-                                     obs.causal ? &causal_rep : nullptr);
+                                     obs.causal ? &causal_rep : nullptr,
+                                     datmove_on ? &dm : nullptr);
     std::cout << "report written to " << obs.report_path << "\n";
   }
 
@@ -236,6 +256,14 @@ int main(int argc, char** argv) {
     core::causal::comm_matrix_table(causal_rep).print(std::cout);
     std::cout << "\n";
     core::causal::critical_path_table(causal_rep).print(std::cout);
+  }
+  if (datmove_on) {
+    std::cout << "\n";
+    core::datmove_table(dm).print(std::cout);
+    std::cout << "\n";
+    core::datmove_tier_table(dm).print(std::cout);
+    std::cout << "\n";
+    core::datmove_reuse_table(dm).print(std::cout);
   }
   return 0;
 }

@@ -311,11 +311,11 @@ Result run_distributed(const Options& opt, real hump, op2::Mode mode,
     Timer timer;
     for (int it = 0; it < opt.iterations; ++it) {
       fault::on_step(comm.rank(), it);
-      op2::halo_gather(comm, rl, *s.U);
+      op2::halo_gather(comm, rl, *s.U, 1000, &rt.instr());
       const real dt = static_cast<real>(comm.allreduce_min(
           static_cast<double>(s.compute_dt())));
       s.compute_fluxes();
-      op2::halo_scatter_add(comm, rl, *s.res);
+      op2::halo_scatter_add(comm, rl, *s.res, 2000, &rt.instr());
       s.update(dt);  // ghost res slots are zero: ghosts stay put
     }
     double mass1, eta1, sp1;

@@ -51,14 +51,17 @@ AppProfile profile_at_run_scale(const Instrumentation& instr) {
 
 AttributionReport attribute(const Instrumentation& instr,
                             const sim::MachineModel& m, const Config& cfg,
-                            double tolerance) {
+                            double tolerance, double byte_tolerance) {
   AttributionReport out;
   out.machine_id = m.id;
   out.config_label = cfg.label();
   out.tolerance = tolerance;
+  out.byte_tolerance = byte_tolerance;
 
   const AppProfile p = profile_at_run_scale(instr);
   const PerfModel pm(m);
+  const std::map<std::string, count_t> counted =
+      instr.counted_bytes_by_loop();
 
   std::size_t ki = 0;
   for (const LoopRecord* r : instr.loops_in_order()) {
@@ -68,7 +71,19 @@ AttributionReport attribute(const Instrumentation& instr,
     a.measured_s = r->host_seconds;
     if (r->calls > 0) {
       const KernelProfile& k = p.kernels[ki++];
-      const double bytes = static_cast<double>(r->bytes);
+      // The roofline join runs off COUNTED bytes when bwmem counted this
+      // loop; the modeled estimate remains for the drift diagnostic.
+      a.modeled_bytes = static_cast<double>(r->bytes);
+      const auto ci = counted.find(r->name);
+      if (ci != counted.end()) {
+        a.counted = true;
+        a.counted_bytes = static_cast<double>(ci->second);
+        if (a.modeled_bytes > 0) {
+          a.byte_drift = a.counted_bytes / a.modeled_bytes - 1.0;
+          a.byte_drifted = std::abs(a.byte_drift) > byte_tolerance;
+        }
+      }
+      const double bytes = a.counted ? a.counted_bytes : a.modeled_bytes;
       const double bw_roof = pm.kernel_bw(p, k, cfg);
       const double flop_roof = pm.kernel_flop_rate(p, k, cfg);
       a.mem_roof_s = bw_roof > 0 ? bytes / bw_roof : 0;
@@ -77,7 +92,7 @@ AttributionReport attribute(const Instrumentation& instr,
       a.predicted_s = std::max(a.mem_roof_s, a.comp_roof_s);
       if (a.measured_s > 0) {
         a.roof_fraction = a.memory_bound
-                              ? r->effective_bw() / bw_roof
+                              ? (bytes / a.measured_s) / bw_roof
                               : (r->flops / a.measured_s) / flop_roof;
       }
       if (a.predicted_s > 0 && a.measured_s > 0) {
@@ -88,6 +103,7 @@ AttributionReport attribute(const Instrumentation& instr,
     out.measured_total += a.measured_s;
     out.predicted_total += a.predicted_s;
     if (a.drifted) ++out.drifted_count;
+    if (a.byte_drifted) ++out.byte_drifted_count;
     out.loops.push_back(std::move(a));
   }
   return out;
@@ -103,15 +119,21 @@ Table attribution_table(const AttributionReport& r) {
                  {"roof", 0},
                  {"% of roof", 1},
                  {"drift %", 1},
+                 {"byte drift %", 2},
                  {"flag", 0}});
-  for (const LoopAttribution& a : r.loops)
+  for (const LoopAttribution& a : r.loops) {
+    std::string flag = a.drifted ? "DRIFT" : "";
+    if (a.byte_drifted) flag += flag.empty() ? "BYTE-DRIFT" : "+BYTE-DRIFT";
     t.add_row({a.name, a.measured_s, a.predicted_s,
                std::string(a.memory_bound ? "memory" : "compute"),
                100.0 * a.roof_fraction, 100.0 * a.drift,
-               std::string(a.drifted ? "DRIFT" : "")});
+               a.counted ? Cell{100.0 * a.byte_drift} : Cell{std::monostate{}},
+               std::move(flag)});
+  }
   t.add_separator();
   t.add_row({std::string("total"), r.measured_total, r.predicted_total,
              std::monostate{}, std::monostate{}, std::monostate{},
+             std::monostate{},
              std::string(std::to_string(r.drifted_count) + " drifted")});
   return t;
 }

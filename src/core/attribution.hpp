@@ -35,15 +35,29 @@ struct LoopAttribution {
   /// predicted, -0.5 = 2x faster).
   double drift = 0;
   bool drifted = false;  ///< |drift| > tolerance
+
+  // --- bwmem: counted-bytes join -------------------------------------------
+  /// True when the run counted exact bytes for this loop (datmove was
+  /// enabled); the roofline join then runs off counted_bytes instead of
+  /// the modeled estimate.
+  bool counted = false;
+  double counted_bytes = 0;  ///< exact bytes (descriptor × executed range)
+  double modeled_bytes = 0;  ///< arg_bytes × points estimate
+  /// counted/modeled - 1: positive when the model under-counts traffic
+  /// (e.g. ignores stencil dilation), negative when it over-counts.
+  double byte_drift = 0;
+  bool byte_drifted = false;  ///< |byte_drift| > byte_tolerance
 };
 
 struct AttributionReport {
   std::string machine_id;     ///< model the predictions come from
   std::string config_label;   ///< configuration the model assumed
   double tolerance = 0;       ///< drift flag threshold
+  double byte_tolerance = 0;  ///< counted-vs-modeled byte drift threshold
   seconds_t measured_total = 0;
   seconds_t predicted_total = 0;
   int drifted_count = 0;
+  int byte_drifted_count = 0;  ///< loops whose byte accounting drifted
   std::vector<LoopAttribution> loops;  ///< first-execution order
 };
 
@@ -51,9 +65,14 @@ struct AttributionReport {
 /// OWN scale (no paper-size scaling: the model is evaluated on exactly
 /// the points/bytes/flops the instrumented run executed). Loops that
 /// recorded no time are included with measured_s = 0 and never flagged.
+/// When the run counted exact bytes (bwmem, --datmove), the memory roof
+/// and roof fraction are computed from the COUNTED bytes and each loop
+/// carries a counted-vs-modeled byte-drift diagnostic flagged beyond
+/// `byte_tolerance`.
 AttributionReport attribute(const Instrumentation& instr,
                             const sim::MachineModel& m, const Config& cfg,
-                            double tolerance = 0.25);
+                            double tolerance = 0.25,
+                            double byte_tolerance = 0.10);
 
 /// Per-loop measured/predicted/roof table for console output.
 Table attribution_table(const AttributionReport& r);

@@ -6,6 +6,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -503,6 +504,55 @@ std::vector<trace::TrackView> parse_chrome_trace(std::istream& is) {
       e.bytes = std::strtoull(json_field(line, "bytes").c_str(), nullptr, 10);
     }
     t.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+// --- Cross-check -------------------------------------------------------------
+
+RankByteCheck cross_check_rank_bytes(
+    const Report& r, const std::vector<par::RankStats>& stats) {
+  RankByteCheck out;
+  // Independent re-aggregation of the matched flows by sender (and, for
+  // the diagnosis, by (src, dest, tag)) — deliberately NOT from r.matrix,
+  // so a matrix-aggregation bug is caught too.
+  std::map<int, unsigned long long> bytes_by_src;
+  std::map<int, long long> msgs_by_src;
+  std::map<std::pair<int, std::pair<int, int>>, unsigned long long> by_pair;
+  for (const MessageFlow& m : r.messages) {
+    bytes_by_src[m.src] += m.bytes;
+    ++msgs_by_src[m.src];
+    by_pair[{m.src, {m.dest, m.tag}}] += m.bytes;
+  }
+  std::ostringstream diag;
+  for (std::size_t rank = 0; rank < stats.size(); ++rank) {
+    const int rk = static_cast<int>(rank);
+    const unsigned long long traced = bytes_by_src.count(rk)
+                                          ? bytes_by_src.at(rk)
+                                          : 0ULL;
+    const long long traced_msgs =
+        msgs_by_src.count(rk) ? msgs_by_src.at(rk) : 0LL;
+    const unsigned long long counted = stats[rank].payload_bytes_sent;
+    const long long counted_msgs =
+        static_cast<long long>(stats[rank].messages_sent);
+    if (traced == counted && traced_msgs == counted_msgs) continue;
+    out.ok = false;
+    diag << "rank " << rk << ": trace " << traced << " B / " << traced_msgs
+         << " msgs vs RankStats " << counted << " B / " << counted_msgs
+         << " msgs;";
+    for (const auto& [k, b] : by_pair)
+      if (k.first == rk)
+        diag << " ->" << k.second.first << " tag " << k.second.second << ": "
+             << b << " B;";
+    diag << "\n";
+  }
+  if (!out.ok) {
+    if (r.unmatched_sends > 0 || r.unmatched_recvs > 0)
+      diag << "(" << r.unmatched_sends << " unmatched sends, "
+           << r.unmatched_recvs
+           << " unmatched recvs — dropped trace events truncate the "
+              "matched flows)\n";
+    out.diagnosis = diag.str();
   }
   return out;
 }

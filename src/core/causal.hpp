@@ -35,6 +35,7 @@
 
 #include "common/table.hpp"
 #include "common/trace.hpp"
+#include "par/simmpi.hpp"
 
 namespace bwlab::core::causal {
 
@@ -130,6 +131,24 @@ Report analyze_live(const Options& opts = {});
 /// trace::write_chrome_json (one event per line) back into track views,
 /// so tools/trace_analyze can run the same analysis offline.
 std::vector<trace::TrackView> parse_chrome_trace(std::istream& is);
+
+/// Result of cross-checking the trace-derived communication matrix
+/// against the runtime's own per-rank counters.
+struct RankByteCheck {
+  bool ok = true;
+  std::string diagnosis;  ///< empty when ok; per-rank/pair/tag detail else
+};
+
+/// bwmem/bwcausal cross-check bug trap: the bytes the causal analysis
+/// attributes to each sending rank (summed over its matched message
+/// flows) must equal the payload bytes par::Comm counted for that rank
+/// (RankStats::payload_bytes_sent), and likewise message counts — the
+/// two are independent observations of the same traffic (trace events vs
+/// send-site counters). A mismatch means dropped trace events, unmatched
+/// flows, or an accounting bug; the diagnosis names each drifting rank
+/// with its per-(peer, tag) byte totals so the divergence is locatable.
+RankByteCheck cross_check_rank_bytes(const Report& r,
+                                     const std::vector<par::RankStats>& stats);
 
 // --- Presentation ------------------------------------------------------------
 

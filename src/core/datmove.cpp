@@ -1,0 +1,590 @@
+#include "core/datmove.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bwlab::core {
+
+namespace {
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\')
+      os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20)
+      os << '_';
+    else
+      os << c;
+  }
+}
+
+/// Resolves the tier list the placement runs against: the machine's
+/// tiers, or a single unnamed infinite tier when no machine was given.
+std::vector<sim::MemoryTier> placement_tiers(const sim::MachineModel* m) {
+  if (m != nullptr && !m->tiers.empty()) return m->tiers;
+  return {{"", 0, 0}};
+}
+
+/// Index of the tier a "hbm"/"ddr" pin policy selects.
+std::size_t pinned_tier(const std::vector<sim::MemoryTier>& tiers,
+                        const std::string& policy) {
+  for (std::size_t i = 0; i < tiers.size(); ++i)
+    if (tiers[i].name == policy) return i;
+  // No tier of that name: "hbm" pins to the fastest (first), "ddr" to the
+  // slowest (last) — the closest available meaning.
+  return policy == "hbm" ? 0 : tiers.size() - 1;
+}
+
+}  // namespace
+
+DatMoveReport DataMoveProfiler::analyze(const Instrumentation& instr,
+                                        const sim::MachineModel* machine,
+                                        const std::string& placement) {
+  BWLAB_REQUIRE(placement == "auto" || placement == "hbm" ||
+                    placement == "ddr",
+                "unknown placement policy '" << placement
+                                             << "' (auto|hbm|ddr)");
+  DatMoveReport r;
+  r.placement_policy = placement;
+  if (machine != nullptr) r.machine_id = machine->id;
+
+  for (const DatMoveRecord* d : instr.datmoves()) {
+    r.records.push_back(*d);
+    r.total_bytes += d->bytes();
+  }
+
+  // Per-loop counted vs modeled, in first-execution order; loops the
+  // profiler never saw (e.g. executed before enable()) are skipped.
+  const std::map<std::string, count_t> counted = instr.counted_bytes_by_loop();
+  for (const LoopRecord* l : instr.loops_in_order()) {
+    const auto it = counted.find(l->name);
+    if (it == counted.end()) continue;
+    DatMoveLoopSummary s;
+    s.loop = l->name;
+    s.counted_bytes = it->second;
+    s.modeled_bytes = l->bytes;
+    if (s.modeled_bytes > 0)
+      s.drift = static_cast<double>(s.counted_bytes) /
+                    static_cast<double>(s.modeled_bytes) -
+                1.0;
+    r.loops.push_back(std::move(s));
+  }
+
+  // Placement: pin policies send everything to one tier; "auto" places
+  // dats by traffic, hottest first, into the fastest tier with remaining
+  // capacity (greedy knapsack — the sizing question "which dats earn the
+  // HBM" answered the simple way).
+  const std::vector<sim::MemoryTier> tiers = placement_tiers(machine);
+  std::vector<double> remaining(tiers.size());
+  for (std::size_t t = 0; t < tiers.size(); ++t)
+    remaining[t] = tiers[t].capacity_bytes;
+  std::vector<const DatFootprint*> fps = instr.dat_footprints();
+  std::vector<std::size_t> order(fps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return fps[a]->bytes_moved > fps[b]->bytes_moved;
+                   });
+  std::vector<std::size_t> chosen(fps.size(), 0);
+  for (const std::size_t i : order) {
+    std::size_t t = 0;
+    if (placement != "auto") {
+      t = pinned_tier(tiers, placement);
+    } else {
+      // Capacity 0 means "unbounded" (tierless pseudo-tier).
+      while (t + 1 < tiers.size() && tiers[t].capacity_bytes > 0 &&
+             remaining[t] < static_cast<double>(fps[i]->alloc_bytes))
+        ++t;
+    }
+    chosen[i] = t;
+    remaining[t] -= static_cast<double>(fps[i]->alloc_bytes);
+  }
+  r.tiers.resize(tiers.size());
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    r.tiers[t].name = tiers[t].name;
+    r.tiers[t].capacity_bytes = tiers[t].capacity_bytes;
+    r.tiers[t].bw_bytes_per_s = tiers[t].bw_bytes_per_s;
+  }
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    DatMovePlacement p;
+    p.dat = fps[i]->dat;
+    p.alloc_bytes = fps[i]->alloc_bytes;
+    p.bytes_moved = fps[i]->bytes_moved;
+    p.tier = tiers[chosen[i]].name;
+    r.working_set_bytes += p.alloc_bytes;
+    TierTraffic& tt = r.tiers[chosen[i]];
+    tt.resident_bytes += p.alloc_bytes;
+    tt.traffic_bytes += p.bytes_moved;
+    r.dats.push_back(std::move(p));
+  }
+  for (TierTraffic& tt : r.tiers)
+    if (tt.bw_bytes_per_s > 0)
+      tt.seconds_at_bw =
+          static_cast<double>(tt.traffic_bytes) / tt.bw_bytes_per_s;
+
+  // Reuse histogram -> capacity-occupancy curve. Points span the occupied
+  // bucket range; served fraction counts reused bytes with distance <=
+  // capacity (cold traffic is compulsory and never "fits").
+  r.reuse = instr.reuse();
+  const count_t total = r.reuse.total_bytes();
+  if (total > 0) {
+    int first = Histogram::kBuckets, last = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+      if (r.reuse.moved_bytes[static_cast<std::size_t>(i)] > 0) {
+        first = std::min(first, i);
+        last = std::max(last, i);
+      }
+    count_t cum = 0;
+    for (int i = first; i <= last; ++i) {
+      cum += r.reuse.moved_bytes[static_cast<std::size_t>(i)];
+      OccupancyPoint p;
+      p.capacity_bytes = Histogram::bucket_upper_bound(i);
+      p.served_fraction =
+          static_cast<double>(cum) / static_cast<double>(total);
+      r.occupancy.push_back(p);
+    }
+  }
+
+  for (const ExchangeRecord* e : instr.exchanges()) {
+    r.halo_bytes_sent += e->bytes;
+    r.halo_bytes_received += e->bytes_received;
+  }
+  r.chains = instr.chain_moves();
+  return r;
+}
+
+// --- Presentation -----------------------------------------------------------
+
+Table datmove_table(const DatMoveReport& r) {
+  Table t("Data movement per loop — counted vs modeled bytes" +
+          (r.machine_id.empty() ? std::string()
+                                : " (" + r.machine_id + ", placement " +
+                                      r.placement_policy + ")"));
+  t.set_columns({{"loop", 0},
+                 {"counted MB", 3},
+                 {"modeled MB", 3},
+                 {"drift %", 2}});
+  for (const DatMoveLoopSummary& s : r.loops)
+    t.add_row({s.loop, static_cast<double>(s.counted_bytes) / 1e6,
+               static_cast<double>(s.modeled_bytes) / 1e6, 100.0 * s.drift});
+  t.add_separator();
+  t.add_row({std::string("total"), static_cast<double>(r.total_bytes) / 1e6,
+             std::monostate{}, std::monostate{}});
+  return t;
+}
+
+Table datmove_tier_table(const DatMoveReport& r) {
+  Table t("Memory-tier placement (policy " + r.placement_policy + ")");
+  t.set_columns({{"dat", 0},
+                 {"alloc MB", 3},
+                 {"moved MB", 3},
+                 {"tier", 0}});
+  for (const DatMovePlacement& p : r.dats)
+    t.add_row({p.dat, static_cast<double>(p.alloc_bytes) / 1e6,
+               static_cast<double>(p.bytes_moved) / 1e6, p.tier});
+  t.add_separator();
+  for (const TierTraffic& tt : r.tiers)
+    t.add_row({std::string("tier ") + (tt.name.empty() ? "-" : tt.name),
+               static_cast<double>(tt.resident_bytes) / 1e6,
+               static_cast<double>(tt.traffic_bytes) / 1e6,
+               std::string(tt.bw_bytes_per_s > 0
+                               ? std::to_string(tt.seconds_at_bw) + " s @BW"
+                               : "")});
+  return t;
+}
+
+Table datmove_reuse_table(const DatMoveReport& r) {
+  Table t("Reuse distance / capacity occupancy (cold bytes: " +
+          std::to_string(r.reuse.cold_bytes) + ")");
+  t.set_columns({{"capacity <=", 0},
+                 {"moved MB", 3},
+                 {"served %", 1}});
+  std::size_t oi = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const count_t b = r.reuse.moved_bytes[static_cast<std::size_t>(i)];
+    if (b == 0) continue;
+    double served = 0;
+    // The occupancy curve holds the cumulative fraction for this bucket.
+    while (oi < r.occupancy.size() &&
+           r.occupancy[oi].capacity_bytes < Histogram::bucket_upper_bound(i))
+      ++oi;
+    if (oi < r.occupancy.size()) served = r.occupancy[oi].served_fraction;
+    const double ub = Histogram::bucket_upper_bound(i);
+    std::ostringstream cap;
+    // Sub-byte buckets only hold distance-0 re-touches of the same dat.
+    if (ub < 1.0)
+      cap << "0 B";
+    else
+      cap << ub << " B";
+    t.add_row({cap.str(), static_cast<double>(b) / 1e6, 100.0 * served});
+  }
+  return t;
+}
+
+// --- JSON out ---------------------------------------------------------------
+
+void write_json(std::ostream& os, const DatMoveReport& r, int indent) {
+  const std::string i0(static_cast<std::size_t>(indent), ' ');
+  const std::string in = i0 + "  ";
+  const std::string in2 = in + "  ";
+  os << "{\n" << in << "\"placement_policy\": \"";
+  write_json_escaped(os, r.placement_policy);
+  os << "\",\n" << in << "\"machine\": \"";
+  write_json_escaped(os, r.machine_id);
+  os << "\",\n" << in << "\"total_bytes\": " << r.total_bytes << ",\n"
+     << in << "\"working_set_bytes\": " << r.working_set_bytes << ",\n"
+     << in << "\"halo_bytes_sent\": " << r.halo_bytes_sent << ",\n"
+     << in << "\"halo_bytes_received\": " << r.halo_bytes_received << ",\n"
+     << in << "\"records\": [";
+  bool first = true;
+  for (const DatMoveRecord& d : r.records) {
+    os << (first ? "\n" : ",\n") << in2 << "{\"loop\": \"";
+    first = false;
+    write_json_escaped(os, d.loop);
+    os << "\", \"dat\": \"";
+    write_json_escaped(os, d.dat);
+    os << "\", \"executions\": " << d.executions
+       << ", \"bytes_read\": " << d.bytes_read
+       << ", \"bytes_written\": " << d.bytes_written << "}";
+  }
+  os << (first ? "]" : "\n" + in + "]") << ",\n" << in << "\"loops\": [";
+  first = true;
+  for (const DatMoveLoopSummary& s : r.loops) {
+    os << (first ? "\n" : ",\n") << in2 << "{\"loop\": \"";
+    first = false;
+    write_json_escaped(os, s.loop);
+    os << "\", \"counted_bytes\": " << s.counted_bytes
+       << ", \"modeled_bytes\": " << s.modeled_bytes
+       << ", \"drift\": " << s.drift << "}";
+  }
+  os << (first ? "]" : "\n" + in + "]") << ",\n" << in << "\"dats\": [";
+  first = true;
+  for (const DatMovePlacement& p : r.dats) {
+    os << (first ? "\n" : ",\n") << in2 << "{\"dat\": \"";
+    first = false;
+    write_json_escaped(os, p.dat);
+    os << "\", \"alloc_bytes\": " << p.alloc_bytes
+       << ", \"bytes_moved\": " << p.bytes_moved << ", \"tier\": \"";
+    write_json_escaped(os, p.tier);
+    os << "\"}";
+  }
+  os << (first ? "]" : "\n" + in + "]") << ",\n" << in
+     << "\"reuse\": {\"cold_bytes\": " << r.reuse.cold_bytes
+     << ", \"buckets\": [";
+  first = true;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const count_t b = r.reuse.moved_bytes[static_cast<std::size_t>(i)];
+    if (b == 0) continue;
+    os << (first ? "" : ", ") << "{\"bucket\": " << i
+       << ", \"upper_bound\": " << Histogram::bucket_upper_bound(i)
+       << ", \"moved_bytes\": " << b << "}";
+    first = false;
+  }
+  os << "]}" << ",\n" << in << "\"occupancy\": [";
+  first = true;
+  for (const OccupancyPoint& p : r.occupancy) {
+    os << (first ? "" : ", ") << "{\"capacity_bytes\": " << p.capacity_bytes
+       << ", \"served_fraction\": " << p.served_fraction << "}";
+    first = false;
+  }
+  os << "],\n" << in << "\"tiers\": [";
+  first = true;
+  for (const TierTraffic& tt : r.tiers) {
+    os << (first ? "\n" : ",\n") << in2 << "{\"name\": \"";
+    first = false;
+    write_json_escaped(os, tt.name);
+    os << "\", \"capacity_bytes\": " << tt.capacity_bytes
+       << ", \"bw_bytes_per_s\": " << tt.bw_bytes_per_s
+       << ", \"resident_bytes\": " << tt.resident_bytes
+       << ", \"traffic_bytes\": " << tt.traffic_bytes
+       << ", \"seconds_at_bw\": " << tt.seconds_at_bw << "}";
+  }
+  os << (first ? "]" : "\n" + in + "]") << ",\n" << in << "\"chains\": [";
+  first = true;
+  for (const ChainMoveRecord& c : r.chains) {
+    os << (first ? "\n" : ",\n") << in2
+       << "{\"working_set_bytes\": " << c.working_set_bytes
+       << ", \"counted_bytes\": " << c.counted_bytes
+       << ", \"tile_height\": " << c.tile_height
+       << ", \"loops\": " << c.loops
+       << ", \"tiled\": " << (c.tiled ? "true" : "false") << "}";
+  }
+  os << (first ? "]" : "\n" + in + "]") << "\n" << i0 << "}";
+}
+
+// --- JSON in (minimal recursive-descent parser) -----------------------------
+//
+// The repo has no general JSON reader (benchjson parses only its own
+// flat format), so the round-trip side carries its own ~100-line value
+// parser: enough JSON to read back what write_json and
+// core/report.cpp emit, with bwlab::Error on anything malformed.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  count_t as_count() const { return static_cast<count_t>(num); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& is) {
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    s_ = ss.str();
+  }
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    BWLAB_REQUIRE(pos_ == s_.size(), "trailing characters in JSON input");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    BWLAB_REQUIRE(pos_ < s_.size(), "unexpected end of JSON input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    BWLAB_REQUIRE(peek() == c, "expected '" << c << "' at JSON offset "
+                                            << pos_);
+    ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::Str;
+      v.str = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  void literal(const std::string& word) {
+    BWLAB_REQUIRE(s_.compare(pos_, word.size(), word) == 0,
+                  "bad JSON literal at offset " << pos_);
+    pos_ += word.size();
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (peek() == 't') {
+      literal("true");
+      v.b = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == 'i' ||
+            s_[pos_] == 'n' || s_[pos_] == 'f' || s_[pos_] == 'a'))
+      ++pos_;  // accepts inf/nan spellings some writers emit
+    BWLAB_REQUIRE(pos_ > start, "bad JSON number at offset " << start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::Num;
+    v.num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      BWLAB_REQUIRE(pos_ < s_.size(), "unterminated JSON string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        BWLAB_REQUIRE(pos_ < s_.size(), "unterminated JSON escape");
+        out.push_back(s_[pos_++]);
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Arr;
+    if (consume(']')) return v;
+    while (true) {
+      v.arr.push_back(value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Obj;
+    if (consume('}')) return v;
+    while (true) {
+      std::string key = string();
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+count_t count_field(const JsonValue& o, const std::string& key) {
+  const JsonValue* v = o.find(key);
+  return v != nullptr ? v->as_count() : 0;
+}
+
+double num_field(const JsonValue& o, const std::string& key) {
+  const JsonValue* v = o.find(key);
+  return v != nullptr ? v->num : 0;
+}
+
+std::string str_field(const JsonValue& o, const std::string& key) {
+  const JsonValue* v = o.find(key);
+  return v != nullptr ? v->str : std::string();
+}
+
+}  // namespace
+
+DatMoveReport parse_datmove_json(std::istream& is) {
+  JsonParser parser(is);
+  JsonValue root = parser.parse();
+  BWLAB_REQUIRE(root.kind == JsonValue::Kind::Obj,
+                "datmove JSON must be an object");
+  const JsonValue* dm = root.find("datmove");
+  if (dm == nullptr) dm = &root;  // bare "datmove" object
+  BWLAB_REQUIRE(dm->find("records") != nullptr,
+                "input has no datmove section");
+
+  DatMoveReport r;
+  r.placement_policy = str_field(*dm, "placement_policy");
+  r.machine_id = str_field(*dm, "machine");
+  r.total_bytes = count_field(*dm, "total_bytes");
+  r.working_set_bytes = count_field(*dm, "working_set_bytes");
+  r.halo_bytes_sent = count_field(*dm, "halo_bytes_sent");
+  r.halo_bytes_received = count_field(*dm, "halo_bytes_received");
+
+  if (const JsonValue* a = dm->find("records"))
+    for (const JsonValue& e : a->arr) {
+      DatMoveRecord d;
+      d.loop = str_field(e, "loop");
+      d.dat = str_field(e, "dat");
+      d.executions = count_field(e, "executions");
+      d.bytes_read = count_field(e, "bytes_read");
+      d.bytes_written = count_field(e, "bytes_written");
+      r.records.push_back(std::move(d));
+    }
+  if (const JsonValue* a = dm->find("loops"))
+    for (const JsonValue& e : a->arr) {
+      DatMoveLoopSummary s;
+      s.loop = str_field(e, "loop");
+      s.counted_bytes = count_field(e, "counted_bytes");
+      s.modeled_bytes = count_field(e, "modeled_bytes");
+      s.drift = num_field(e, "drift");
+      r.loops.push_back(std::move(s));
+    }
+  if (const JsonValue* a = dm->find("dats"))
+    for (const JsonValue& e : a->arr) {
+      DatMovePlacement p;
+      p.dat = str_field(e, "dat");
+      p.alloc_bytes = count_field(e, "alloc_bytes");
+      p.bytes_moved = count_field(e, "bytes_moved");
+      p.tier = str_field(e, "tier");
+      r.dats.push_back(std::move(p));
+    }
+  if (const JsonValue* o = dm->find("reuse")) {
+    r.reuse.cold_bytes = count_field(*o, "cold_bytes");
+    if (const JsonValue* a = o->find("buckets"))
+      for (const JsonValue& e : a->arr) {
+        const auto i = static_cast<std::size_t>(num_field(e, "bucket"));
+        if (i < r.reuse.moved_bytes.size())
+          r.reuse.moved_bytes[i] = count_field(e, "moved_bytes");
+      }
+  }
+  if (const JsonValue* a = dm->find("occupancy"))
+    for (const JsonValue& e : a->arr) {
+      OccupancyPoint p;
+      p.capacity_bytes = num_field(e, "capacity_bytes");
+      p.served_fraction = num_field(e, "served_fraction");
+      r.occupancy.push_back(p);
+    }
+  if (const JsonValue* a = dm->find("tiers"))
+    for (const JsonValue& e : a->arr) {
+      TierTraffic tt;
+      tt.name = str_field(e, "name");
+      tt.capacity_bytes = num_field(e, "capacity_bytes");
+      tt.bw_bytes_per_s = num_field(e, "bw_bytes_per_s");
+      tt.resident_bytes = count_field(e, "resident_bytes");
+      tt.traffic_bytes = count_field(e, "traffic_bytes");
+      tt.seconds_at_bw = num_field(e, "seconds_at_bw");
+      r.tiers.push_back(std::move(tt));
+    }
+  if (const JsonValue* a = dm->find("chains"))
+    for (const JsonValue& e : a->arr) {
+      ChainMoveRecord c;
+      c.working_set_bytes = count_field(e, "working_set_bytes");
+      c.counted_bytes = count_field(e, "counted_bytes");
+      c.tile_height = static_cast<idx_t>(num_field(e, "tile_height"));
+      c.loops = static_cast<int>(num_field(e, "loops"));
+      const JsonValue* t = e.find("tiled");
+      c.tiled = t != nullptr && t->b;
+      r.chains.push_back(c);
+    }
+  return r;
+}
+
+}  // namespace bwlab::core

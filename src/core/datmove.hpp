@@ -1,0 +1,115 @@
+// bwmem analysis: turns the exact data-movement records collected by the
+// runtime (common/instrument.hpp, gathered by ops::par_loop /
+// op2::par_loop / ops::ChainQueue when datmove is enabled) into a
+// DatMoveReport — per-loop counted-vs-modeled byte summaries, per-dat
+// traffic and memory-tier placement against sim/machine tier definitions,
+// the byte-weighted reuse-distance histogram with its capacity-occupancy
+// curve, per-chain working sets, and halo pack/unpack totals. This is the
+// measured ground truth the ROADMAP's HBM cache/flat tier modeling needs:
+// the occupancy curve says what fraction of traffic a fast tier of a
+// given size could serve, the tier table what the placed traffic costs at
+// each tier's achieved bandwidth.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/instrument.hpp"
+#include "common/table.hpp"
+#include "sim/machine.hpp"
+
+namespace bwlab::core {
+
+/// One loop's counted bytes joined against its modeled (arg_bytes ×
+/// points) estimate.
+struct DatMoveLoopSummary {
+  std::string loop;
+  count_t counted_bytes = 0;  ///< exact (descriptor × executed range)
+  count_t modeled_bytes = 0;  ///< LoopRecord::bytes estimate
+  double drift = 0;           ///< counted/modeled - 1 (0 = exact agreement)
+};
+
+/// One dat's traffic and its assigned memory tier.
+struct DatMovePlacement {
+  std::string dat;
+  count_t alloc_bytes = 0;
+  count_t bytes_moved = 0;
+  std::string tier;  ///< tier name, "" when no machine was given
+};
+
+/// One point of the capacity-occupancy curve: the fraction of total
+/// counted traffic a fast tier of `capacity_bytes` could serve (reuse
+/// distance <= capacity; cold/compulsory traffic always misses).
+struct OccupancyPoint {
+  double capacity_bytes = 0;
+  double served_fraction = 0;
+};
+
+/// Traffic attributed to one machine memory tier by the placement.
+struct TierTraffic {
+  std::string name;
+  double capacity_bytes = 0;
+  double bw_bytes_per_s = 0;
+  count_t resident_bytes = 0;  ///< placed allocation footprint
+  count_t traffic_bytes = 0;   ///< placed moved bytes
+  double seconds_at_bw = 0;    ///< traffic at the tier's achieved BW
+};
+
+/// The "datmove" run-report section (see write_json for the layout).
+struct DatMoveReport {
+  std::string placement_policy;  ///< "auto" | "hbm" | "ddr"
+  std::string machine_id;        ///< empty when no machine was given
+  count_t total_bytes = 0;       ///< all counted loop bytes
+  count_t working_set_bytes = 0;  ///< sum of dat allocation footprints
+  count_t halo_bytes_sent = 0;
+  count_t halo_bytes_received = 0;
+  std::vector<DatMoveRecord> records;        ///< per (loop, dat)
+  std::vector<DatMoveLoopSummary> loops;     ///< first-execution order
+  std::vector<DatMovePlacement> dats;        ///< first-touch order
+  ReuseHistogram reuse;
+  std::vector<OccupancyPoint> occupancy;
+  std::vector<TierTraffic> tiers;
+  std::vector<ChainMoveRecord> chains;
+};
+
+/// Facade over the collection switch plus the post-run analysis. The
+/// runtime side costs one relaxed load + branch per loop while disabled
+/// (bench/gb_datmove_overhead enforces < 5 ns).
+class DataMoveProfiler {
+ public:
+  static void enable() { datmove::enable(); }
+  static void disable() { datmove::disable(); }
+  static bool enabled() { return datmove::enabled(); }
+
+  /// Builds the report from a finished run's instrumentation. `machine`
+  /// supplies tier definitions (pass nullptr for tierless reports);
+  /// `placement` is "auto" (greedy by traffic, fastest tier first, until
+  /// its capacity is exhausted), "hbm" or "ddr" (pin everything to the
+  /// named tier, falling back to the fastest/slowest tier respectively
+  /// when the machine has no tier of that name).
+  static DatMoveReport analyze(const Instrumentation& instr,
+                               const sim::MachineModel* machine = nullptr,
+                               const std::string& placement = "auto");
+};
+
+/// Per-loop counted-vs-modeled summary table for console output.
+Table datmove_table(const DatMoveReport& r);
+/// Per-dat placement + per-tier traffic table (empty-tier rows when the
+/// report was built without a machine).
+Table datmove_tier_table(const DatMoveReport& r);
+/// Reuse-distance / capacity-occupancy table.
+Table datmove_reuse_table(const DatMoveReport& r);
+
+/// The "datmove" JSON object (no surrounding key), embedded in the run
+/// report by core/report.cpp. `indent` is the base indentation in spaces.
+void write_json(std::ostream& os, const DatMoveReport& r, int indent = 2);
+
+/// Parses a "datmove" JSON object previously written by write_json —
+/// either the bare object or a full run report containing a "datmove"
+/// member — back into a DatMoveReport (round-trip tested). Throws
+/// bwlab::Error on malformed input or when a run report has no "datmove"
+/// section.
+DatMoveReport parse_datmove_json(std::istream& is);
+
+}  // namespace bwlab::core

@@ -11,6 +11,7 @@
 #include "common/trace.hpp"
 #include "core/attribution.hpp"
 #include "core/causal.hpp"
+#include "core/datmove.hpp"
 
 namespace bwlab::core {
 
@@ -102,7 +103,8 @@ Table effective_bw_table(const Instrumentation& instr) {
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
                            const MetricsRegistry* metrics,
                            const AttributionReport* attr,
-                           const causal::Report* causal_rep) {
+                           const causal::Report* causal_rep,
+                           const DatMoveReport* datmove) {
   os << "{\n  \"loops\": [";
   bool first = true;
   for (const LoopRecord* l : instr.loops_in_order()) {
@@ -125,6 +127,7 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
     write_json_escaped(os, e->dat_name);
     os << "\", \"exchanges\": " << e->exchanges
        << ", \"messages\": " << e->messages << ", \"bytes\": " << e->bytes
+       << ", \"bytes_received\": " << e->bytes_received
        << ", \"halo_depth\": " << e->halo_depth
        << ", \"elem_bytes\": " << e->elem_bytes << "}";
   }
@@ -144,9 +147,11 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
     os << "\", \"config\": \"";
     write_json_escaped(os, attr->config_label);
     os << "\", \"tolerance\": " << attr->tolerance
+       << ", \"byte_tolerance\": " << attr->byte_tolerance
        << ",\n    \"measured_total_seconds\": " << attr->measured_total
        << ", \"predicted_total_seconds\": " << attr->predicted_total
        << ", \"drifted_count\": " << attr->drifted_count
+       << ", \"byte_drifted_count\": " << attr->byte_drifted_count
        << ",\n    \"loops\": [";
     bool afirst = true;
     for (const LoopAttribution& a : attr->loops) {
@@ -160,7 +165,13 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
          << ", \"memory_bound\": " << (a.memory_bound ? "true" : "false")
          << ", \"roof_fraction\": " << a.roof_fraction
          << ", \"drift\": " << a.drift
-         << ", \"drifted\": " << (a.drifted ? "true" : "false") << "}";
+         << ", \"drifted\": " << (a.drifted ? "true" : "false")
+         << ", \"counted\": " << (a.counted ? "true" : "false")
+         << ", \"counted_bytes\": " << a.counted_bytes
+         << ", \"modeled_bytes\": " << a.modeled_bytes
+         << ", \"byte_drift\": " << a.byte_drift
+         << ", \"byte_drifted\": " << (a.byte_drifted ? "true" : "false")
+         << "}";
     }
     os << (afirst ? "]" : "\n    ]") << "\n  }";
   }
@@ -171,6 +182,10 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
   if (causal_rep != nullptr) {
     os << ",\n  \"causal\": ";
     causal::write_json(os, *causal_rep, 2);
+  }
+  if (datmove != nullptr) {
+    os << ",\n  \"datmove\": ";
+    core::write_json(os, *datmove, 2);
   }
   // Trace health: only present when the tracer has (or had) events, so
   // untraced runs keep their report unchanged.
@@ -197,10 +212,11 @@ void write_run_report_json_file(const std::string& path,
                                 const Instrumentation& instr,
                                 const MetricsRegistry* metrics,
                                 const AttributionReport* attr,
-                                const causal::Report* causal_rep) {
+                                const causal::Report* causal_rep,
+                                const DatMoveReport* datmove) {
   std::ofstream os(path);
   BWLAB_REQUIRE(os.good(), "cannot open report output file '" << path << "'");
-  write_run_report_json(os, instr, metrics, attr, causal_rep);
+  write_run_report_json(os, instr, metrics, attr, causal_rep, datmove);
   BWLAB_REQUIRE(os.good(), "failed writing report to '" << path << "'");
 }
 

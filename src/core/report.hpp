@@ -48,6 +48,7 @@ Table top_loops_table(const Instrumentation& instr, std::size_t top_n = 10);
 Table effective_bw_table(const Instrumentation& instr);
 
 struct AttributionReport;
+struct DatMoveReport;
 
 namespace causal {
 struct Report;
@@ -57,20 +58,23 @@ struct Report;
 /// total loop seconds, a "tiling" section when the run executed tiled
 /// chains (tile count, height, auto-tuner inputs), and (if given) a
 /// snapshot of `metrics`, the
-/// per-loop roofline attribution (core/attribution.hpp) and the bwcausal
-/// wait-state / critical-path analysis (core/causal.hpp). When the tracer
+/// per-loop roofline attribution (core/attribution.hpp), the bwcausal
+/// wait-state / critical-path analysis (core/causal.hpp) and the bwmem
+/// "datmove" data-movement section (core/datmove.hpp). When the tracer
 /// recorded events, a "trace" section reports total and per-thread
 /// dropped-event counts so truncated timelines are visible post-run.
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
                            const MetricsRegistry* metrics = nullptr,
                            const AttributionReport* attr = nullptr,
-                           const causal::Report* causal_rep = nullptr);
+                           const causal::Report* causal_rep = nullptr,
+                           const DatMoveReport* datmove = nullptr);
 
 /// write_run_report_json to `path`; throws bwlab::Error if unwritable.
 void write_run_report_json_file(const std::string& path,
                                 const Instrumentation& instr,
                                 const MetricsRegistry* metrics = nullptr,
                                 const AttributionReport* attr = nullptr,
-                                const causal::Report* causal_rep = nullptr);
+                                const causal::Report* causal_rep = nullptr,
+                                const DatMoveReport* datmove = nullptr);
 
 }  // namespace bwlab::core

@@ -86,12 +86,20 @@ void scatter_local(const RankLocal& local, const Dat<T>& global_dat,
 
 /// Forward exchange: refresh this rank's ghost copies from their owners.
 /// Tag space: [base, base + nparts) — callers running several dats
-/// concurrently must give each a distinct base.
+/// concurrently must give each a distinct base. When `instr` is given,
+/// pack/ship/unpack bytes are recorded as an ExchangeRecord for bwmem
+/// (exactly the payload bytes par::Comm sees).
 template <class T>
 void halo_gather(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
-                 int tag_base = 1000) {
+                 int tag_base = 1000, Instrumentation* instr = nullptr) {
   trace::TraceSpan span(trace::Cat::Halo, "halo_gather");
   const int dim = dat.dim();
+  ExchangeRecord* rec = nullptr;
+  if (instr != nullptr) {
+    rec = &instr->exchange(dat.name());
+    rec->elem_bytes = sizeof(T);
+    ++rec->exchanges;
+  }
   std::vector<std::vector<T>> sendbuf(local.neighbors.size());
   for (std::size_t k = 0; k < local.neighbors.size(); ++k) {
     const auto& ids = local.send_ids[k];
@@ -101,24 +109,35 @@ void halo_gather(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
       for (int c = 0; c < dim; ++c) buf.push_back(dat.at(l, c));
     comm.send(local.neighbors[k], tag_base + comm.rank(), buf.data(),
               buf.size() * sizeof(T));
+    if (rec != nullptr) {
+      ++rec->messages;
+      rec->bytes += buf.size() * sizeof(T);
+    }
   }
   for (std::size_t k = 0; k < local.neighbors.size(); ++k) {
     const idx_t n = local.recv_count[k];
     std::vector<T> buf(static_cast<std::size_t>(n * dim));
     comm.recv(local.neighbors[k], tag_base + local.neighbors[k], buf.data(),
               buf.size() * sizeof(T));
+    if (rec != nullptr) rec->bytes_received += buf.size() * sizeof(T);
     T* dst = dat.ptr(local.recv_begin[k]);
     std::copy(buf.begin(), buf.end(), dst);
   }
 }
 
 /// Reverse exchange: ship ghost-slot contributions back to the owners and
-/// add them there, then zero the ghost slots.
+/// add them there, then zero the ghost slots. `instr` as in halo_gather.
 template <class T>
 void halo_scatter_add(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
-                      int tag_base = 2000) {
+                      int tag_base = 2000, Instrumentation* instr = nullptr) {
   trace::TraceSpan span(trace::Cat::Halo, "halo_scatter_add");
   const int dim = dat.dim();
+  ExchangeRecord* rec = nullptr;
+  if (instr != nullptr) {
+    rec = &instr->exchange(dat.name());
+    rec->elem_bytes = sizeof(T);
+    ++rec->exchanges;
+  }
   // Ghost blocks travel to their owners...
   for (std::size_t k = 0; k < local.neighbors.size(); ++k) {
     const idx_t n = local.recv_count[k];
@@ -127,6 +146,10 @@ void halo_scatter_add(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
     std::copy(src, src + n * dim, buf.begin());
     comm.send(local.neighbors[k], tag_base + comm.rank(), buf.data(),
               buf.size() * sizeof(T));
+    if (rec != nullptr) {
+      ++rec->messages;
+      rec->bytes += buf.size() * sizeof(T);
+    }
     std::fill(dat.ptr(local.recv_begin[k]),
               dat.ptr(local.recv_begin[k]) + n * dim, T{});
   }
@@ -136,6 +159,7 @@ void halo_scatter_add(par::Comm& comm, const RankLocal& local, Dat<T>& dat,
     std::vector<T> buf(ids.size() * static_cast<std::size_t>(dim));
     comm.recv(local.neighbors[k], tag_base + local.neighbors[k], buf.data(),
               buf.size() * sizeof(T));
+    if (rec != nullptr) rec->bytes_received += buf.size() * sizeof(T);
     std::size_t at = 0;
     for (idx_t l : ids)
       for (int c = 0; c < dim; ++c) dat.at(l, c) += buf[at++];

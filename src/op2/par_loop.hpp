@@ -338,6 +338,60 @@ constexpr bool is_inc(const ArgIInc<T>&) {
   return true;
 }
 
+// bwmem exact data-movement recording: unstructured loops touch every
+// element once, so counted bytes are descriptor × set-size products.
+// Indirect map-index bytes are attributed to the target dat's record so
+// counted totals match arg_bytes exactly (zero drift by construction).
+template <class T>
+void datmove_acc(Instrumentation& ins, const std::string& loop, Dat<T>& d,
+                 count_t read_b, count_t write_b) {
+  ins.datmove_add(loop, d.name(), read_b, write_b);
+  ins.datmove_dat(d.name(),
+                  static_cast<count_t>(d.size_flat()) * sizeof(T),
+                  read_b + write_b);
+  ins.datmove_touch(&d, read_b + write_b, read_b + write_b);
+}
+
+template <class T>
+void datmove_record(Instrumentation& ins, const std::string& loop, idx_t n,
+                    const ArgDRead<T>& a) {
+  const count_t b =
+      sizeof(T) * static_cast<count_t>(a.d->dim()) * static_cast<count_t>(n);
+  datmove_acc(ins, loop, *a.d, b, 0);
+}
+template <class T>
+void datmove_record(Instrumentation& ins, const std::string& loop, idx_t n,
+                    const ArgDWrite<T>& a) {
+  const count_t b =
+      sizeof(T) * static_cast<count_t>(a.d->dim()) * static_cast<count_t>(n);
+  datmove_acc(ins, loop, *a.d, 0, b);
+}
+template <class T>
+void datmove_record(Instrumentation& ins, const std::string& loop, idx_t n,
+                    const ArgDRW<T>& a) {
+  const count_t b =
+      sizeof(T) * static_cast<count_t>(a.d->dim()) * static_cast<count_t>(n);
+  datmove_acc(ins, loop, *a.d, b, b);
+}
+template <class T>
+void datmove_record(Instrumentation& ins, const std::string& loop, idx_t n,
+                    const ArgIRead<T>& a) {
+  const count_t b =
+      sizeof(T) * static_cast<count_t>(a.d->dim()) * static_cast<count_t>(n);
+  const count_t map_b = sizeof(idx_t) * static_cast<count_t>(n);
+  datmove_acc(ins, loop, *a.d, b + map_b, 0);
+}
+template <class T>
+void datmove_record(Instrumentation& ins, const std::string& loop, idx_t n,
+                    const ArgIInc<T>& a) {
+  const count_t b =
+      sizeof(T) * static_cast<count_t>(a.d->dim()) * static_cast<count_t>(n);
+  const count_t map_b = sizeof(idx_t) * static_cast<count_t>(n);
+  datmove_acc(ins, loop, *a.d, b + map_b, b);
+}
+template <class A>
+void datmove_record(Instrumentation&, const std::string&, idx_t, const A&) {}
+
 // NaN/Inf field guard (bwfault): scans dats a loop wrote or incremented.
 template <class T>
 void guard_scan(const std::string& loop, const Dat<T>& d) {
@@ -471,6 +525,10 @@ void record(Runtime& rt, const LoopMeta& meta, const Set& set,
   rec.pattern = any_inc ? Pattern::GatherScatter
                         : (any_ind ? Pattern::Indirect : Pattern::Streaming);
   (void)colored;
+  if (datmove::enabled() && set.size() > 0) {
+    (detail::datmove_record(rt.instr(), meta.name, set.size(), args), ...);
+    rt.instr().datmove_emit_counter();
+  }
   static Counter& invocations =
       MetricsRegistry::global().counter("op2.loop_invocations");
   static Histogram& seconds =

@@ -57,6 +57,40 @@ void execute_range_team(par::ThreadPool* pool, const Range& r, int outer_dim,
       par::Schedule::Dynamic, 1);
 }
 
+// --- bwmem exact data-movement recording (chain executor) ------------------
+// Chain bytes are counted ONCE per chain over the extended local ranges
+// ext[i] — fixed by the skew analysis, independent of tile height and
+// thread-pool size — so the accounting is bitwise deterministic. Reuse
+// touches happen per executed (tile, loop, use) on the calling thread,
+// with the touch's own moved bytes as its resident footprint, so tiling
+// shortens stack distances exactly as it shortens real reuse distances.
+
+count_t use_read_bytes(const ChainDatUse& u, const Range& r, int ndims) {
+  count_t pts = 1;
+  for (int d = 0; d < 3; ++d) {
+    idx_t e = r.extent(d);
+    if (d < ndims) e += 2 * u.read_radius;
+    pts *= static_cast<count_t>(e);
+  }
+  return pts * u.elem_bytes;
+}
+
+count_t use_write_bytes(const ChainDatUse& u, const Range& r) {
+  return static_cast<count_t>(r.points()) * u.elem_bytes;
+}
+
+count_t use_alloc_bytes(const ChainDatUse& u) {
+  count_t b = u.elem_bytes;
+  for (int d = 0; d < 3; ++d)
+    b *= static_cast<count_t>(u.alloc_extent[static_cast<std::size_t>(d)]);
+  return b;
+}
+
+count_t use_moved_bytes(const ChainDatUse& u, const Range& r, int ndims) {
+  return (u.is_read ? use_read_bytes(u, r, ndims) : 0) +
+         (u.is_written ? use_write_bytes(u, r) : 0);
+}
+
 }  // namespace
 
 idx_t auto_tile_height(double bytes_per_row, double cache_budget_bytes,
@@ -143,11 +177,29 @@ void ChainQueue::execute_untiled() {
   BWLAB_REQUIRE(!ctx_->lazy(),
                 "disable lazy mode before executing the captured chain");
   trace::TraceSpan chain_span(trace::Cat::Region, "chain.untiled");
+  const bool dm = datmove::enabled();
+  ChainMoveRecord cm;
+  std::set<const void*> cm_seen;
   for (ChainLoop& l : loops_) {
     for (const ChainDatUse& u : l.uses)
       if (u.is_read && u.read_radius > 0) u.exchange();
     const Range local =
         extended_local_range(l, 0, {false, false, false});
+    if (dm && !local.empty()) {
+      Instrumentation& ins = ctx_->instr();
+      const int nd = l.block->ndims();
+      ++cm.loops;
+      for (const ChainDatUse& u : l.uses) {
+        const count_t rb = u.is_read ? use_read_bytes(u, local, nd) : 0;
+        const count_t wb = u.is_written ? use_write_bytes(u, local) : 0;
+        ins.datmove_add(l.name, u.name, rb, wb);
+        ins.datmove_dat(u.name, use_alloc_bytes(u), rb + wb);
+        ins.datmove_touch(u.id, rb + wb, rb + wb);
+        cm.counted_bytes += rb + wb;
+        if (cm_seen.insert(u.id).second)
+          cm.working_set_bytes += use_alloc_bytes(u);
+      }
+    }
     Timer t;
     {
       trace::TraceSpan span(trace::Cat::Kernel, l.name);
@@ -156,6 +208,10 @@ void ChainQueue::execute_untiled() {
     ctx_->instr().loop(l.name).host_seconds += t.elapsed();
     for (const ChainDatUse& u : l.uses)
       if (u.is_written) u.mark_dirty();
+  }
+  if (dm) {
+    ctx_->instr().datmove_chain(cm);
+    ctx_->instr().datmove_emit_counter();
   }
   loops_.clear();
 }
@@ -253,6 +309,35 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
     tiling.cache_budget_bytes = ctx_->tile_cache_bytes();
   }
 
+  // bwmem: count the whole chain's bytes over ext[i] up front (see the
+  // recording comment above — this is what makes the accounting invariant
+  // under tile height and pool size).
+  const bool dm = datmove::enabled();
+  if (dm) {
+    Instrumentation& ins = ctx_->instr();
+    ChainMoveRecord cm;
+    cm.tiled = true;
+    cm.tile_height = tile_outer;
+    std::set<const void*> cm_seen;
+    for (int i = 0; i < n; ++i) {
+      const ChainLoop& l = loops_[static_cast<std::size_t>(i)];
+      const Range& r = ext[static_cast<std::size_t>(i)];
+      if (r.empty()) continue;
+      const int nd = l.block->ndims();
+      ++cm.loops;
+      for (const ChainDatUse& u : l.uses) {
+        const count_t rb = u.is_read ? use_read_bytes(u, r, nd) : 0;
+        const count_t wb = u.is_written ? use_write_bytes(u, r) : 0;
+        ins.datmove_add(l.name, u.name, rb, wb);
+        ins.datmove_dat(u.name, use_alloc_bytes(u), rb + wb);
+        cm.counted_bytes += rb + wb;
+        if (cm_seen.insert(u.id).second)
+          cm.working_set_bytes += use_alloc_bytes(u);
+      }
+    }
+    ins.datmove_chain(cm);
+  }
+
   par::ThreadPool* pool = ctx_->pool();
   static Counter& tiles =
       MetricsRegistry::global().counter("ops.tiles_executed");
@@ -272,6 +357,15 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
       r.lo[od] = std::max(r.lo[od], b0 + s);
       r.hi[od] = std::min(r.hi[od], b1 + s);
       if (r.empty()) continue;
+      if (dm) {
+        // Per-tile reuse touches: the footprint between two touches of
+        // the same dat is the sum of the tile-sized slices in between.
+        const int nd = l.block->ndims();
+        for (const ChainDatUse& u : l.uses) {
+          const count_t mb = use_moved_bytes(u, r, nd);
+          ctx_->instr().datmove_touch(u.id, mb, mb);
+        }
+      }
       Timer t;
       {
         trace::TraceSpan span(trace::Cat::Kernel, l.name);
@@ -293,6 +387,7 @@ void ChainQueue::execute_tiled(idx_t tile_outer) {
   for (const ChainLoop& l : loops_)
     for (const ChainDatUse& u : l.uses)
       if (u.is_written) u.mark_dirty();
+  if (dm) ctx_->instr().datmove_emit_counter();
   loops_.clear();
 }
 

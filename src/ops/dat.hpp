@@ -374,6 +374,10 @@ class Dat {
       }
       std::vector<T> rbuf(static_cast<std::size_t>(rbox.points()));
       comm->recv(nb, tag, rbuf.data(), rbuf.size() * sizeof(T));
+      // Only real (cross-rank) receives count — the periodic self-wrap
+      // copy above never hits the wire, keeping rec.bytes/bytes_received
+      // exactly equal to par::Comm's payload RankStats.
+      rec.bytes_received += rbuf.size() * sizeof(T);
       trace::TraceSpan unpack_span(trace::Cat::Halo, "halo.unpack:", name_);
       unpack(rbox, rbuf);
     };

@@ -225,6 +225,50 @@ int arg_radius(const A&) {
   return 0;
 }
 
+// --- bwmem exact data-movement recording (eager ops loops) -----------------
+// Read footprint = executed range dilated per-dimension by the stencil
+// radius; write footprint = executed points. Both are exact consequences
+// of descriptor × range, so they are identical for every thread-pool size.
+
+template <class T>
+void datmove_dat_arg(Context& ctx, const std::string& loop, Dat<T>& d,
+                     count_t read_b, count_t write_b) {
+  count_t alloc = Dat<T>::elem_bytes();
+  for (int dim = 0; dim < 3; ++dim)
+    alloc *= static_cast<count_t>(d.alloc_hi(dim) - d.alloc_lo(dim));
+  Instrumentation& ins = ctx.instr();
+  ins.datmove_add(loop, d.name(), read_b, write_b);
+  ins.datmove_dat(d.name(), alloc, read_b + write_b);
+  // Touch footprint = this touch's moved bytes — the same convention the
+  // chain executor uses per tile, so eager vs tiled reuse histograms are
+  // directly comparable.
+  ins.datmove_touch(&d, read_b + write_b, read_b + write_b);
+}
+
+template <class T>
+void datmove_record(Context& ctx, const std::string& loop, const Range& local,
+                    const ArgRead<T>& a) {
+  count_t pts = 1;
+  for (std::size_t d = 0; d < 3; ++d)
+    pts *= static_cast<count_t>(local.hi[d] - local.lo[d] +
+                                2 * a.sten.radius[d]);
+  datmove_dat_arg(ctx, loop, *a.dat, pts * sizeof(T), 0);
+}
+template <class T>
+void datmove_record(Context& ctx, const std::string& loop, const Range& local,
+                    const ArgWrite<T>& a) {
+  const count_t pts = static_cast<count_t>(local.points());
+  datmove_dat_arg(ctx, loop, *a.dat, 0, pts * sizeof(T));
+}
+template <class T>
+void datmove_record(Context& ctx, const std::string& loop, const Range& local,
+                    const ArgRW<T>& a) {
+  const count_t pts = static_cast<count_t>(local.points());
+  datmove_dat_arg(ctx, loop, *a.dat, pts * sizeof(T), pts * sizeof(T));
+}
+template <class A>
+void datmove_record(Context&, const std::string&, const Range&, const A&) {}
+
 template <class A>
 constexpr bool is_reduction(const A&) {
   return false;
@@ -354,6 +398,13 @@ void par_loop(const LoopMeta& meta, Block& b, const Range& range,
   rec.points += pts;
   rec.bytes += pts * bytes_pp;
   rec.flops += static_cast<double>(pts) * meta.flops_per_point;
+
+  // bwmem: exact bytes for eager execution (lazy loops are counted by the
+  // chain executor over the extended ranges it actually runs).
+  if (!ctx.lazy() && datmove::enabled() && !local.empty()) {
+    (detail::datmove_record(ctx, meta.name, local, args), ...);
+    ctx.instr().datmove_emit_counter();
+  }
 
   // 3+4. Execute. exec_range runs exactly the given range on the calling
   // thread (own bound-argument copies per call, no pool access) and
@@ -498,6 +549,11 @@ void par_loop_blocked(const LoopMeta& meta, Block& b, const Range& range,
   rec.bytes += pts * bytes_pp;
   rec.flops += static_cast<double>(pts) * meta.flops_per_point;
   rec.ndims = b.ndims();
+
+  if (datmove::enabled() && !local.empty()) {
+    (detail::datmove_record(ctx, meta.name, local, args), ...);
+    ctx.instr().datmove_emit_counter();
+  }
 
   Timer t;
   trace::TraceSpan span(trace::Cat::Kernel, meta.name);

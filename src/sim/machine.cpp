@@ -63,6 +63,8 @@ const MachineModel& max9480() {
         {"L2", 2 * kMiB, true, 49 * kGB, 0},
         {"L3", 112.5 * kMiB, false, 0, 1000 * kGB},
     };
+    // HBM-only mode: every byte is served by HBM2e (no DDR installed).
+    x.tiers = {{"hbm", 2 * 64 * kGiB, 1446 * kGB}};
     x.lat_ns_smt = 11;
     x.lat_ns_same_numa = 52;
     x.lat_ns_cross_numa = 66;
@@ -107,6 +109,7 @@ const MachineModel& icx8360y() {
         {"L2", 1.25 * kMiB, true, 25.9 * kGB, 0},
         {"L3", 54 * kMiB, false, 0, 450 * kGB},
     };
+    x.tiers = {{"ddr", 2 * 256 * kGiB, 296 * kGB}};
     x.lat_ns_smt = 10;
     x.lat_ns_same_numa = 48;
     x.lat_ns_cross_numa = 48;  // single NUMA domain per socket
@@ -154,6 +157,7 @@ const MachineModel& milanx() {
         {"L2", 512 * kKiB, true, 36 * kGB, 0},
         {"L3", 768 * kMiB, false, 0, 1400 * kGB},
     };
+    x.tiers = {{"ddr", 2 * 224 * kGiB, 310 * kGB}};
     x.lat_ns_smt = 26;  // SMT off; class unused, kept equal to same-numa
     x.lat_ns_same_numa = 26;   // same CCX
     x.lat_ns_cross_numa = 112; // different chiplet, same socket
@@ -193,6 +197,7 @@ const MachineModel& a100() {
     x.caches = {
         {"L2", 40 * kMiB, false, 0, 4500 * kGB},
     };
+    x.tiers = {{"hbm", 40 * kGiB, 1310 * kGB}};
     x.lat_ns_smt = 0;
     x.lat_ns_same_numa = 0;
     x.lat_ns_cross_numa = 0;

@@ -27,6 +27,16 @@ struct CacheLevel {
   double bw_bytes_per_socket = 0;  ///< sustained BW per socket (shared levels)
 };
 
+/// One addressable memory tier of the platform (bwmem traffic attribution
+/// target). HBM-only parts expose a single "hbm" tier; DDR parts a single
+/// "ddr" tier; future cache/flat-mode models add both. Ordered fastest
+/// first in MachineModel::tiers.
+struct MemoryTier {
+  std::string name;            ///< "hbm" | "ddr"
+  double capacity_bytes = 0;   ///< node capacity of this tier
+  double bw_bytes_per_s = 0;   ///< achieved node bandwidth (STREAM triad)
+};
+
 /// Core-to-core communication relationship classes used by the latency
 /// model (Figure 2) and by the MPI placement model (Figure 7).
 enum class PairClass {
@@ -76,6 +86,10 @@ struct MachineModel {
   double mem_latency_ns = 100;
 
   std::vector<CacheLevel> caches;  ///< ordered smallest (L1) to largest
+
+  /// Memory tiers, fastest first (see MemoryTier). Filled per machine in
+  /// machine.cpp; consumed by the bwmem placement policies.
+  std::vector<MemoryTier> tiers;
 
   // --- Core-to-core message latency (ns), one-writer/one-reader test -------
   double lat_ns_smt = 0;

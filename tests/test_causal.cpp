@@ -353,5 +353,41 @@ TEST_F(CausalTest, CloverDelayedHaloSendAcceptance) {
   EXPECT_NE(rep.str().find("\"critical_path\""), std::string::npos);
 }
 
+// --- Cross-check: trace bytes vs runtime rank counters -----------------------
+
+// Bug trap: the comm-matrix bytes bwcausal derives from matched trace
+// flows and the payload bytes par::Comm counts at the send sites are two
+// independent observations of the same traffic — they must agree exactly.
+TEST_F(CausalTest, RankBytesMatchRankStats) {
+  trace::enable();
+  apps::Options opt;
+  opt.n = 24;
+  opt.iterations = 2;
+  opt.ranks = 2;
+  const apps::Result res = apps::clover2d::run(opt);
+  trace::disable();
+
+  const Report r = core::causal::analyze_live();
+  ASSERT_EQ(r.unmatched_sends, 0);
+  ASSERT_EQ(r.unmatched_recvs, 0);
+  ASSERT_EQ(res.rank_stats.size(), 2u);
+
+  const core::causal::RankByteCheck chk =
+      core::causal::cross_check_rank_bytes(r, res.rank_stats);
+  EXPECT_TRUE(chk.ok) << chk.diagnosis;
+  EXPECT_TRUE(chk.diagnosis.empty());
+
+  // Deliberate miscount: the diagnosis names the drifting rank with its
+  // per-(peer, tag) byte totals.
+  std::vector<par::RankStats> bad = res.rank_stats;
+  bad[1].payload_bytes_sent += 64;
+  const core::causal::RankByteCheck miss =
+      core::causal::cross_check_rank_bytes(r, bad);
+  EXPECT_FALSE(miss.ok);
+  EXPECT_NE(miss.diagnosis.find("rank 1"), std::string::npos)
+      << miss.diagnosis;
+  EXPECT_NE(miss.diagnosis.find("tag"), std::string::npos) << miss.diagnosis;
+}
+
 }  // namespace
 }  // namespace bwlab

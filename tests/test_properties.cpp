@@ -6,12 +6,15 @@
 
 #include <array>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <random>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
+#include "common/instrument.hpp"
 #include "core/app_registry.hpp"
 #include "core/perf_model.hpp"
 #include "ops/par_loop.hpp"
@@ -324,8 +327,9 @@ using DatPtrs = std::vector<std::unique_ptr<Dat<double>>>;
 DatPtrs make_fuzz_dats(Block& b, const FuzzSpec& spec) {
   DatPtrs dats;
   for (int d = 0; d < spec.ndats; ++d) {
-    auto dat = std::make_unique<Dat<double>>(b, "f" + std::to_string(d),
-                                             kFuzzDepth);
+    std::string name = "f";
+    name += std::to_string(d);
+    auto dat = std::make_unique<Dat<double>>(b, name, kFuzzDepth);
     // Periodicity is per dimension and uniform across dats (tiled chains
     // require that); the non-periodic alternative still has halo reads.
     for (int side = 0; side < 2; ++side) {
@@ -422,6 +426,141 @@ TEST(FuzzChains, AutoTunedRandomChainsAlsoMatch) {
               << "trial " << trial << " dat " << d << " at " << i << ","
               << j;
   }
+}
+
+// --- bwmem: counted bytes are an execution-schedule invariant -----------------
+//
+// Property: the exact bytes bwmem counts for a chain depend only on the
+// loops and their access descriptors — NEVER on how the executor
+// scheduled them. Any (pool size, tile height) pair must produce the
+// identical per-(loop, dat) byte map.
+
+/// Process-global datmove switch, scoped per test.
+struct DatMoveGuard {
+  DatMoveGuard() { datmove::enable(); }
+  ~DatMoveGuard() { datmove::disable(); }
+};
+
+using DatMoveMap =
+    std::map<std::pair<std::string, std::string>, std::array<count_t, 3>>;
+
+DatMoveMap datmove_map(const Instrumentation& instr) {
+  DatMoveMap out;
+  for (const DatMoveRecord* r : instr.datmoves())
+    out[{r->loop, r->dat}] = {r->executions, r->bytes_read,
+                              r->bytes_written};
+  return out;
+}
+
+TEST(FuzzChains, CountedBytesIdenticalAcrossPoolsAndTileHeights) {
+  const DatMoveGuard guard;
+  const idx_t heights[] = {2, 5, 9, 64, 1000};
+  const int pools[] = {1, 2, 4};
+  std::mt19937 rng(31337u);
+  for (int trial = 0; trial < 3; ++trial) {
+    const FuzzSpec spec = random_spec(rng);
+    DatMoveMap base;
+    count_t base_chain_bytes = 0;
+    bool first = true;
+    for (const idx_t h : heights)
+      for (const int p : pools) {
+        Context ctx(p);
+        Block b(ctx, "g", 2, {kFuzzN, kFuzzN, 1});
+        DatPtrs dats = make_fuzz_dats(b, spec);
+        ctx.set_lazy(true);
+        run_fuzz_loops(b, dats, spec);
+        ctx.set_lazy(false);
+        ctx.chain().execute_tiled(h);
+        const DatMoveMap m = datmove_map(ctx.instr());
+        ASSERT_FALSE(m.empty());
+        ASSERT_EQ(ctx.instr().chain_moves().size(), 1u);
+        const count_t cb = ctx.instr().chain_moves()[0].counted_bytes;
+        if (first) {
+          base = m;
+          base_chain_bytes = cb;
+          first = false;
+          continue;
+        }
+        EXPECT_EQ(cb, base_chain_bytes)
+            << "trial " << trial << " tile " << h << " pool " << p;
+        ASSERT_EQ(m.size(), base.size())
+            << "trial " << trial << " tile " << h << " pool " << p;
+        for (const auto& [k, v] : base) {
+          const auto it = m.find(k);
+          ASSERT_NE(it, m.end()) << k.first << "/" << k.second;
+          EXPECT_EQ(it->second[0], v[0]) << k.first << "/" << k.second;
+          EXPECT_EQ(it->second[1], v[1])
+              << k.first << "/" << k.second << " read bytes, trial "
+              << trial << " tile " << h << " pool " << p;
+          EXPECT_EQ(it->second[2], v[2])
+              << k.first << "/" << k.second << " written bytes, trial "
+              << trial << " tile " << h << " pool " << p;
+        }
+      }
+  }
+}
+
+// Property: for a reuse-heavy chain (a dat read by non-adjacent loops),
+// tiled execution keeps the re-touch within the tile's small slices, so
+// at a cache-sized capacity its estimated spill traffic is strictly
+// below the eager schedule's, whose re-touches are full-array distances.
+TEST(FuzzChains, TiledSpillsFewerBytesThanEagerForReuseHeavyChains) {
+  const DatMoveGuard guard;
+  constexpr double kCapacity = 8192.0;  // between slice and array scale
+
+  const auto run_loops = [](Block& b, Dat<double>& a, Dat<double>& bb,
+                            Dat<double>& c, Dat<double>& d,
+                            Dat<double>& e) {
+    const Range r = Range::make2d(0, kFuzzN, 0, kFuzzN);
+    par_loop({"l0", 2.0}, b, r,
+             [](Acc<const double> x, Acc<double> o) {
+               o(0, 0) = 0.25 * (x(-1, 0) + x(1, 0) + x(0, -1) + x(0, 1));
+             },
+             read(a, Stencil::star(2, 1)), write(bb));
+    par_loop({"l1", 1.0}, b, r,
+             [](Acc<const double> x, Acc<double> o) {
+               o(0, 0) = 2.0 * x(0, 0);
+             },
+             read(c), write(d));
+    // Re-reads `a` after two unrelated streams flushed it.
+    par_loop({"l2", 1.0}, b, r,
+             [](Acc<const double> x, Acc<double> o) {
+               o(0, 0) = x(0, 0) + 1.0;
+             },
+             read(a), write(e));
+  };
+  const auto make = [](Block& b, const char* n) {
+    auto d = std::make_unique<Dat<double>>(b, n, 4);
+    d->set_bc_all(Bc::CopyNearest);
+    d->fill_indexed([](idx_t i, idx_t j, idx_t) {
+      return 0.01 * double(i) + 0.02 * double(j);
+    });
+    return d;
+  };
+
+  Context ectx;
+  Block eb(ectx, "g", 2, {kFuzzN, kFuzzN, 1});
+  auto ea = make(eb, "a"), eb2 = make(eb, "b"), ec = make(eb, "c"),
+       ed = make(eb, "d"), ee = make(eb, "e");
+  run_loops(eb, *ea, *eb2, *ec, *ed, *ee);
+  const count_t eager_spill = ectx.instr().reuse().est_spill_bytes(kCapacity);
+  EXPECT_GT(eager_spill, 0u);
+
+  Context tctx;
+  Block tb(tctx, "g", 2, {kFuzzN, kFuzzN, 1});
+  auto ta = make(tb, "a"), tb2 = make(tb, "b"), tc = make(tb, "c"),
+       td = make(tb, "d"), te = make(tb, "e");
+  tctx.set_lazy(true);
+  run_loops(tb, *ta, *tb2, *tc, *td, *te);
+  tctx.set_lazy(false);
+  tctx.chain().execute_tiled(4);
+  const count_t tiled_spill = tctx.instr().reuse().est_spill_bytes(kCapacity);
+  EXPECT_LT(tiled_spill, eager_spill);
+
+  // Both schedules still computed the same values.
+  for (idx_t j = 0; j < kFuzzN; ++j)
+    for (idx_t i = 0; i < kFuzzN; ++i)
+      ASSERT_EQ(te->at(i, j), ee->at(i, j)) << i << "," << j;
 }
 
 TEST(FuzzChains, RandomChainsRejectReductionsInLazyMode) {
