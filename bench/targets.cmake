@@ -84,12 +84,24 @@ target_link_libraries(gb_datmove_overhead
 set_target_properties(gb_datmove_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# bwresil hot-path guard: the resil::active() guards compiled into
+# Comm::send (sequence stamp + replay log) and Comm::recv (timed retrying
+# collect) must stay one relaxed load + branch while no policy is
+# installed.
+add_executable(gb_resil_overhead ${CMAKE_SOURCE_DIR}/bench/gb_resil_overhead.cpp)
+target_include_directories(gb_resil_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_resil_overhead
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
+set_target_properties(gb_resil_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # The self-checking budget benches double as ctest entries under the
 # "bench" label (`ctest -L bench`), so the perf trip wires run with the
 # suite instead of needing a separate CI step.
 if(BWLAB_BUILD_TESTS)
   foreach(b gb_trace_overhead gb_fault_overhead gb_causal_overhead
-            gb_datmove_overhead)
+            gb_datmove_overhead gb_resil_overhead)
     add_test(NAME ${b} COMMAND ${b})
     set_tests_properties(${b} PROPERTIES TIMEOUT 120 LABELS bench)
   endforeach()

@@ -34,6 +34,15 @@
 //   --checkpoint-every=K checkpoint fields every K steps, restart after
 //                        an injected rank crash (CloverLeaf 2D)
 //   --nan-guard=0|1|2    post-loop NaN/Inf guard: off / report / abort
+//
+// Resilience (bwresil):
+//   --resil              resilient Comm (timeout/retry/backoff + replay)
+//                        and online localized rollback via buddy
+//                        checkpoints instead of supervisor restart
+//   --retry-max=N        receive retries before giving up (default 8)
+//   --backoff-us=U       initial retry backoff, doubles per attempt
+//   --degraded           when retries exhaust, continue with stale halo
+//                        data instead of blocking
 #include <iostream>
 #include <string>
 
@@ -49,6 +58,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
+#include "common/resil.hpp"
 #include "common/trace.hpp"
 #include "core/attribution.hpp"
 #include "core/causal.hpp"
@@ -109,7 +119,8 @@ int main(int argc, char** argv) {
               << "  --datmove --placement=auto|hbm|ddr\n"
               << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
-              << "  --max-restarts=R --nan-guard=0|1|2\n";
+              << "  --max-restarts=R --nan-guard=0|1|2\n"
+              << "  --resil --retry-max=N --backoff-us=U --degraded\n";
     return 0;
   }
   const std::string app = canonical_app(
@@ -240,6 +251,14 @@ int main(int argc, char** argv) {
     if (result.metric("restarts") > 0)
       std::cout << "recovered via checkpoint/restart: "
                 << result.metric("restarts") << " restart(s)\n";
+  }
+  if (rob.resil) {
+    const resil::Stats st = resil::stats();
+    std::cout << "resil: retries=" << st.retries
+              << " recovered=" << st.recovered
+              << " degraded=" << st.degraded_events
+              << " rollbacks=" << st.rollbacks
+              << " buddy_restores=" << st.buddy_restores << "\n";
   }
   if (cli.get_bool("summary", false)) {
     std::cout << "\n";

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "apps/resilient_loop.hpp"
 #include "common/fault.hpp"
+#include "common/resil.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "ops/checkpoint.hpp"
@@ -397,6 +399,9 @@ Result run(const Options& opt) {
   // every rank finished step K-1.
   std::vector<ops::CheckpointStore> stores(
       static_cast<std::size_t>(opt.ranks > 0 ? opt.ranks : 1));
+  // bwresil: size the buddy board so each rank can mirror its committed
+  // snapshot; a crash then recovers online instead of via the supervisor.
+  if (resil::active()) resil::buddy_resize(opt.ranks > 0 ? opt.ranks : 1);
 
   auto run_rank = [&](par::Comm* comm) {
     const int rank = comm ? comm->rank() : 0;
@@ -418,19 +423,29 @@ Result run(const Options& opt) {
     }
     Timer timer;
     Solver::Summary sum;
-    for (int it = start; it < opt.iterations; ++it) {
-      fault::on_step(rank, it);
+    ResilientLoop lp;
+    lp.rank = rank;
+    lp.comm = comm;
+    lp.start = start;
+    lp.iterations = opt.iterations;
+    lp.checkpoint_every = opt.checkpoint_every;
+    lp.store = &store;
+    lp.step = [&](long long) {
       s.ideal_gas();  // EoS refresh for the dt estimate (lagged when tiled)
       const double dt = s.calc_dt();
       s.step(dt, opt.tiled, opt.tile_size);
       sum = s.field_summary();
-      if (opt.checkpoint_every > 0 &&
-          (it + 1) % opt.checkpoint_every == 0 && it + 1 < opt.iterations) {
-        store.begin(it);
-        for (ops::Dat<double>* d : s.fields()) store.capture(*d);
-        store.commit();
-      }
-    }
+    };
+    lp.capture = [&](long long it) {
+      store.begin(it);
+      for (ops::Dat<double>* d : s.fields()) store.capture(*d);
+      store.commit();
+    };
+    lp.restore = [&] {
+      for (ops::Dat<double>* d : s.fields()) store.restore(*d);
+    };
+    lp.reinit = [&] { s.initialize(); };
+    run_resilient_loop(lp);
     if (!comm || comm->rank() == 0) {
       result.elapsed = timer.elapsed();
       result.metrics["mass"] = sum.mass;
@@ -470,6 +485,11 @@ Result run(const Options& opt) {
     counter.inc();
   }
   result.metrics["restarts"] = restarts;
+  if (resil::active()) {
+    const resil::Stats rs = resil::stats();
+    result.metrics["rollbacks"] = static_cast<double>(rs.rollbacks);
+    result.metrics["buddy_restores"] = static_cast<double>(rs.buddy_restores);
+  }
   return result;
 }
 

@@ -2,7 +2,13 @@
 
 #include <cmath>
 
+#include "apps/resilient_loop.hpp"
+#include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/resil.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "ops/checkpoint.hpp"
 #include "ops/par_loop.hpp"
 
 namespace bwlab::apps::clover3d {
@@ -381,6 +387,13 @@ struct Solver {
     ctx.set_lazy(false);
     ctx.chain().execute_tiled(tile_size);
   }
+
+  /// Every evolving field, in a fixed order — the checkpoint unit.
+  std::array<ops::Dat<double>*, 16> fields() {
+    return {&density, &energy, &pressure, &soundspeed, &viscosity,
+            &xvel, &yvel, &zvel, &xvel1, &yvel1, &zvel1,
+            &flux_x, &flux_y, &flux_z, &mflux, &eflux};
+  }
 };
 
 }  // namespace
@@ -388,7 +401,16 @@ struct Solver {
 Result run(const Options& opt) {
   apply_robustness(opt);
   Result result;
+  // Per-rank checkpoint stores, outliving the rank threads (as in
+  // CloverLeaf 2D): the supervisor path restores them across a relaunch,
+  // the bwresil path rolls them back online.
+  std::vector<ops::CheckpointStore> stores(
+      static_cast<std::size_t>(opt.ranks > 0 ? opt.ranks : 1));
+  if (resil::active()) resil::buddy_resize(opt.ranks > 0 ? opt.ranks : 1);
+
   auto run_rank = [&](par::Comm* comm) {
+    const int rank = comm ? comm->rank() : 0;
+    ops::CheckpointStore& store = stores[static_cast<std::size_t>(rank)];
     std::unique_ptr<ops::Context> ctx =
         comm ? std::make_unique<ops::Context>(*comm, opt.threads)
              : std::make_unique<ops::Context>(opt.threads);
@@ -398,15 +420,37 @@ Result run(const Options& opt) {
       ctx->set_tile_cache_bytes(opt.tile_cache_bytes);
     Solver s(*ctx, opt.n, depth);
     s.initialize();
+    int start = 0;
+    if (store.valid()) {
+      trace::TraceSpan span(trace::Cat::Fault, "recovery:restore");
+      for (ops::Dat<double>* d : s.fields()) store.restore(*d);
+      start = static_cast<int>(store.step()) + 1;
+    }
     Timer timer;
     Solver::Summary sum;
-    for (int it = 0; it < opt.iterations; ++it) {
-      fault::on_step(comm ? comm->rank() : 0, it);
+    ResilientLoop lp;
+    lp.rank = rank;
+    lp.comm = comm;
+    lp.start = start;
+    lp.iterations = opt.iterations;
+    lp.checkpoint_every = opt.checkpoint_every;
+    lp.store = &store;
+    lp.step = [&](long long) {
       s.ideal_gas();
       const double dt = s.calc_dt();
       s.step(dt, opt.tiled, opt.tile_size);
       sum = s.field_summary();
-    }
+    };
+    lp.capture = [&](long long it) {
+      store.begin(it);
+      for (ops::Dat<double>* d : s.fields()) store.capture(*d);
+      store.commit();
+    };
+    lp.restore = [&] {
+      for (ops::Dat<double>* d : s.fields()) store.restore(*d);
+    };
+    lp.reinit = [&] { s.initialize(); };
+    run_resilient_loop(lp);
     if (!comm || comm->rank() == 0) {
       result.elapsed = timer.elapsed();
       result.metrics["mass"] = sum.mass;
@@ -417,11 +461,38 @@ Result run(const Options& opt) {
       if (comm) result.comm_seconds = comm->comm_seconds();
     }
   };
-  if (opt.ranks > 1)
-    result.rank_stats =
-        run_distributed(opt, [&](par::Comm& c) { run_rank(&c); });
-  else
-    run_rank(nullptr);
+
+  // Crash-recovery supervisor (plain protocol only; with a resil policy
+  // the loop above recovers online and no restart ever fires).
+  int restarts = 0;
+  for (;;) {
+    try {
+      if (opt.ranks > 1) {
+        result.rank_stats =
+            run_distributed(opt, [&](par::Comm& c) { run_rank(&c); });
+      } else {
+        run_rank(nullptr);
+      }
+      break;
+    } catch (const par::RankFailure&) {
+      if (opt.checkpoint_every <= 0 || restarts >= opt.max_restarts) throw;
+    } catch (const par::MultiRankError& e) {
+      if (!e.any_rank_failure() || opt.checkpoint_every <= 0 ||
+          restarts >= opt.max_restarts)
+        throw;
+    }
+    ++restarts;
+    trace::TraceSpan span(trace::Cat::Fault, "recovery:restart");
+    static Counter& counter =
+        MetricsRegistry::global().counter("recovery.restarts");
+    counter.inc();
+  }
+  result.metrics["restarts"] = restarts;
+  if (resil::active()) {
+    const resil::Stats rs = resil::stats();
+    result.metrics["rollbacks"] = static_cast<double>(rs.rollbacks);
+    result.metrics["buddy_restores"] = static_cast<double>(rs.buddy_restores);
+  }
   return result;
 }
 

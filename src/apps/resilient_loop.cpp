@@ -1,0 +1,97 @@
+#include "apps/resilient_loop.hpp"
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/metrics.hpp"
+#include "common/resil.hpp"
+#include "common/trace.hpp"
+
+namespace bwlab::apps {
+
+namespace {
+
+bool checkpoint_due(const ResilientLoop& lp, long long it) {
+  return lp.checkpoint_every > 0 && lp.store != nullptr &&
+         (it + 1) % lp.checkpoint_every == 0 && it + 1 < lp.iterations;
+}
+
+/// Localized rollback after the health check reported a failed rank.
+/// Returns the agreed resume step. Symmetric across ranks by
+/// construction: commits (and their buddy mirrors) happen at the same
+/// steps everywhere, so every rank computes the same resume step.
+long long rollback(const ResilientLoop& lp, int failed_rank) {
+  trace::TraceSpan span(trace::Cat::Fault, "recovery:rollback");
+  // One rollback *event* spans all ranks; count it once.
+  if (lp.rank == 0) {
+    static Counter& rollbacks =
+        MetricsRegistry::global().counter("recovery.rollbacks");
+    rollbacks.inc();
+    resil::count_rollback();
+  }
+  if (lp.rank == failed_rank) {
+    // The failed rank's own state (store included) is considered lost;
+    // its buddy holds the serialized snapshot.
+    if (lp.store != nullptr && resil::buddy_has(lp.rank)) {
+      resil::buddy_restore(lp.rank, *lp.store);
+      lp.restore();
+      return lp.store->step() + 1;
+    }
+    lp.reinit();
+    return 0;
+  }
+  if (lp.store != nullptr && lp.store->valid()) {
+    trace::TraceSpan rspan(trace::Cat::Fault, "recovery:restore");
+    lp.restore();
+    return lp.store->step() + 1;
+  }
+  lp.reinit();
+  return 0;
+}
+
+}  // namespace
+
+std::vector<long long> run_resilient_loop(const ResilientLoop& lp) {
+  BWLAB_REQUIRE(lp.step != nullptr, "resilient loop needs a step hook");
+  std::vector<long long> executed;
+  if (!resil::active()) {
+    // Plain protocol: crashes propagate to the app's supervisor.
+    for (long long it = lp.start; it < lp.iterations; ++it) {
+      fault::on_step(lp.rank, it);
+      lp.step(it);
+      executed.push_back(it);
+      if (checkpoint_due(lp, it)) lp.capture(it);
+    }
+    return executed;
+  }
+  // Localized protocol. Iterations stay in lockstep across ranks (one
+  // health allreduce per loop turn), so the allreduce counts always
+  // match up.
+  long long it = lp.start;
+  while (it < lp.iterations) {
+    int my_failure = -1;
+    try {
+      fault::on_step(lp.rank, it);
+    } catch (const par::RankFailure&) {
+      my_failure = lp.rank;
+    }
+    double failed = my_failure;
+    if (lp.comm != nullptr) failed = lp.comm->allreduce_max(failed);
+    if (failed >= 0) {
+      it = rollback(lp, static_cast<int>(failed));
+      continue;
+    }
+    // Health check passed: crash faults only fire at step tops, so this
+    // step runs crash-free on every rank; drops and delays inside it
+    // are survived by the resilient Comm layer.
+    lp.step(it);
+    executed.push_back(it);
+    if (checkpoint_due(lp, it)) {
+      lp.capture(it);
+      resil::buddy_mirror(lp.rank, *lp.store);
+    }
+    ++it;
+  }
+  return executed;
+}
+
+}  // namespace bwlab::apps

@@ -1,0 +1,60 @@
+// bwresil: the shared resilient step loop of the distributed apps.
+//
+// One loop shape, two protocols:
+//
+//  * plain (no resil policy): fault::on_step at the top of every step; a
+//    RankFailure propagates out to the app's checkpoint/restart
+//    supervisor, which relaunches the whole world (the PR-2 path,
+//    unchanged).
+//
+//  * localized (resil policy active): every iteration opens with a
+//    health allreduce. Crash faults fire only at step tops
+//    (fault::on_step), so a rank that catches its own RankFailure flags
+//    itself in that allreduce *before* any step work starts — no
+//    point-to-point traffic is ever in flight at rollback time. All
+//    ranks then roll back symmetrically to the last committed
+//    checkpoint: the failed rank restores its store from its buddy's
+//    mirror (rank+1 mod N holds the serialized bytes), surviving ranks
+//    restore from their local stores, and everyone resumes at
+//    checkpoint step + 1 (or re-initializes to step 0 when no
+//    checkpoint exists). No supervisor restart, no world teardown.
+//
+// The health allreduce doubles as the per-step lockstep barrier that
+// keeps checkpoint steps, buddy mirrors and the resume step globally
+// agreed. Checkpoint commits additionally mirror the serialized store to
+// the buddy board. The executed step sequence is returned so tests can
+// assert exact step accounting across recoveries.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/snapshot.hpp"
+#include "par/simmpi.hpp"
+
+namespace bwlab::apps {
+
+/// One rank's step-loop configuration. The hooks close over the rank's
+/// solver: `step` runs one full time step (halo exchanges, collectives
+/// and all), `capture` commits a checkpoint of every evolving field at
+/// the given step, `restore` copies the store's committed snapshot back
+/// into the fields, `reinit` rebuilds the initial (step-0) state.
+struct ResilientLoop {
+  int rank = 0;
+  par::Comm* comm = nullptr;  ///< null for single-rank runs
+  long long start = 0;        ///< first step (supervisor restarts resume here)
+  long long iterations = 0;
+  int checkpoint_every = 0;   ///< commit every K completed steps (0 = off)
+  fault::SnapshotStore* store = nullptr;  ///< this rank's checkpoint store
+  std::function<void(long long)> step;
+  std::function<void(long long)> capture;
+  std::function<void()> restore;
+  std::function<void()> reinit;
+};
+
+/// Runs the loop under the protocol the installed policies select and
+/// returns the sequence of steps this rank executed (rolled-back steps
+/// included, in execution order) — the step-accounting witness.
+std::vector<long long> run_resilient_loop(const ResilientLoop& lp);
+
+}  // namespace bwlab::apps

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
@@ -81,49 +82,59 @@ void SnapshotStore::reset() {
   in_txn_ = false;
 }
 
-void SnapshotStore::write_file(const std::string& path) const {
-  BWLAB_REQUIRE(valid_, "write_file on an empty checkpoint store");
-  std::ofstream os(path, std::ios::binary);
-  BWLAB_REQUIRE(os.good(), "cannot open checkpoint file '" << path << "'");
-  auto put_u64 = [&os](std::uint64_t v) {
-    os.write(reinterpret_cast<const char*>(&v), sizeof v);
+std::vector<char> SnapshotStore::serialize() const {
+  BWLAB_REQUIRE(valid_, "serialize of an empty checkpoint store");
+  std::size_t total = sizeof kMagic + 2 * sizeof(std::uint64_t);
+  for (const Field& f : fields_)
+    total += 3 * sizeof(std::uint64_t) + f.name.size() + f.bytes.size();
+  std::vector<char> out(total);
+  std::size_t pos = 0;
+  auto put = [&out, &pos](const void* p, std::size_t n) {
+    std::memcpy(out.data() + pos, p, n);
+    pos += n;
   };
-  os.write(kMagic, sizeof kMagic);
+  auto put_u64 = [&put](std::uint64_t v) { put(&v, sizeof v); };
+  put(kMagic, sizeof kMagic);
   put_u64(static_cast<std::uint64_t>(step_));
   put_u64(fields_.size());
   for (const Field& f : fields_) {
     put_u64(f.name.size());
-    os.write(f.name.data(), static_cast<std::streamsize>(f.name.size()));
+    put(f.name.data(), f.name.size());
     put_u64(f.elem_bytes);
     put_u64(f.bytes.size());
-    os.write(f.bytes.data(), static_cast<std::streamsize>(f.bytes.size()));
+    put(f.bytes.data(), f.bytes.size());
   }
-  BWLAB_REQUIRE(os.good(), "failed writing checkpoint to '" << path << "'");
+  return out;
 }
 
-void SnapshotStore::read_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  BWLAB_REQUIRE(is.good(), "cannot open checkpoint file '" << path << "'");
-  auto get_u64 = [&is]() {
+void SnapshotStore::deserialize(const std::vector<char>& bytes) {
+  std::size_t pos = 0;
+  auto get = [&bytes, &pos](void* p, std::size_t n) {
+    BWLAB_REQUIRE(pos + n <= bytes.size(),
+                  "truncated serialized checkpoint (" << bytes.size()
+                                                      << " B)");
+    std::memcpy(p, bytes.data() + pos, n);
+    pos += n;
+  };
+  auto get_u64 = [&get]() {
     std::uint64_t v = 0;
-    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    get(&v, sizeof v);
     return v;
   };
   char magic[sizeof kMagic];
-  is.read(magic, sizeof magic);
-  BWLAB_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
-                "'" << path << "' is not a bwfault checkpoint file");
+  get(magic, sizeof magic);
+  BWLAB_REQUIRE(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "serialized bytes are not a bwfault checkpoint");
   std::vector<Field> fields;
   const long long step = static_cast<long long>(get_u64());
   const std::uint64_t n = get_u64();
   for (std::uint64_t i = 0; i < n; ++i) {
     Field f;
     f.name.resize(get_u64());
-    is.read(f.name.data(), static_cast<std::streamsize>(f.name.size()));
+    get(f.name.data(), f.name.size());
     f.elem_bytes = get_u64();
     f.bytes.resize(get_u64());
-    is.read(f.bytes.data(), static_cast<std::streamsize>(f.bytes.size()));
-    BWLAB_REQUIRE(is.good(), "truncated checkpoint file '" << path << "'");
+    get(f.bytes.data(), f.bytes.size());
     fields.push_back(std::move(f));
   }
   fields_ = std::move(fields);
@@ -131,6 +142,26 @@ void SnapshotStore::read_file(const std::string& path) {
   valid_ = true;
   in_txn_ = false;
   staging_.clear();
+}
+
+void SnapshotStore::write_file(const std::string& path) const {
+  const std::vector<char> bytes = serialize();
+  std::ofstream os(path, std::ios::binary);
+  BWLAB_REQUIRE(os.good(), "cannot open checkpoint file '" << path << "'");
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  BWLAB_REQUIRE(os.good(), "failed writing checkpoint to '" << path << "'");
+}
+
+void SnapshotStore::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  BWLAB_REQUIRE(is.good(), "cannot open checkpoint file '" << path << "'");
+  std::vector<char> bytes{std::istreambuf_iterator<char>(is),
+                          std::istreambuf_iterator<char>()};
+  try {
+    deserialize(bytes);
+  } catch (const Error& e) {
+    throw Error("checkpoint file '" + path + "': " + e.what());
+  }
 }
 
 }  // namespace bwlab::fault

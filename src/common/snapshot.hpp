@@ -49,8 +49,19 @@ class SnapshotStore {
   /// Discards committed and staged state.
   void reset();
 
+  /// Serializes the committed snapshot to a byte buffer — the exact bytes
+  /// write_file would emit. This is the bwresil buddy-mirror wire format:
+  /// a rank ships these bytes to its buddy, and a restore on any store
+  /// (same fields, same shapes) is bitwise-faithful, ghosts included.
+  std::vector<char> serialize() const;
+
+  /// Replaces the committed snapshot with a previously serialized one;
+  /// diagnosed error on malformed or truncated input.
+  void deserialize(const std::vector<char>& bytes);
+
   /// Binary serialization of the committed snapshot (single-rank runs /
   /// debugging; in-memory stores are the supervisor's primary path).
+  /// File contents are serialize() bytes verbatim.
   void write_file(const std::string& path) const;
   void read_file(const std::string& path);
 

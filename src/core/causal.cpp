@@ -37,6 +37,12 @@ const char* bucket_of(const SpanRec& s) {
     case trace::Cat::Comm:
       return (s.name == "barrier" || s.name == "allreduce") ? "imbalance"
                                                             : "comm_wait";
+    case trace::Cat::Fault:
+      // bwresil emits all recovery work (rollback, buddy mirror/restore,
+      // retry backoff, supervisor restart) as Fault spans named
+      // "recovery:*"; attribute those to their own bucket so recovery
+      // cost is visible in the critical path.
+      return s.name.rfind("recovery", 0) == 0 ? "recovery" : "other";
     default: return "other";
   }
 }
@@ -596,7 +602,7 @@ Table critical_path_table(const Report& r) {
   t.set_columns({{"bucket", 0}, {"seconds", 6}, {"% of path", 1}});
   const double len = r.path.length_s > 0 ? r.path.length_s : 1.0;
   for (const char* b : {"kernel", "halo_pack", "comm_wait", "imbalance",
-                        "other"}) {
+                        "recovery", "other"}) {
     const auto it = r.path.bucket_s.find(b);
     const double s = it == r.path.bucket_s.end() ? 0.0 : it->second;
     t.add_row({std::string(b), s, 100.0 * s / len});

@@ -20,8 +20,10 @@
 //  * critical-path extraction: a backward walk from the last event that
 //    jumps to the sending rank across late-sender waits and to the
 //    last-arriving rank across collectives, attributing the end-to-end
-//    wall time to kernel / halo_pack / comm_wait / imbalance / other
-//    buckets that sum exactly to the traced wall interval.
+//    wall time to kernel / halo_pack / comm_wait / imbalance / recovery /
+//    other buckets that sum exactly to the traced wall interval
+//    (recovery covers the bwresil "recovery:*" spans — rollback, buddy
+//    mirror/restore, retry backoff, supervisor restart).
 //
 // Everything here runs post-join on the snapshot (or on a parsed
 // .trace.json for the offline tools/trace_analyze) — the hot path pays
@@ -87,7 +89,8 @@ struct PathSegment {
   int rank = -1;
   double t0_s = 0;
   double t1_s = 0;
-  std::string bucket;  ///< kernel | halo_pack | comm_wait | imbalance | other
+  std::string bucket;  ///< kernel | halo_pack | comm_wait | imbalance |
+                       ///< recovery | other
 };
 
 struct CriticalPath {

@@ -4,6 +4,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/resil.hpp"
 
 namespace bwlab::core {
 
@@ -151,6 +152,14 @@ void Robustness::install() const {
   fault::set_nan_policy(nan_guard >= 2   ? fault::NanPolicy::Abort
                         : nan_guard == 1 ? fault::NanPolicy::Report
                                          : fault::NanPolicy::Off);
+  resil::Policy pol;
+  pol.enabled = resil;
+  pol.retry_max = retry_max;
+  pol.backoff_us = backoff_us;
+  if (pol.backoff_cap_us < backoff_us) pol.backoff_cap_us = backoff_us;
+  pol.degraded = degraded;
+  pol.seed = seed;
+  resil::install(pol);
 }
 
 void Robustness::apply(apps::Options& opt) const {
@@ -168,6 +177,10 @@ Robustness robustness_from_cli(const Cli& cli) {
   r.checkpoint_every = static_cast<int>(cli.get_int("checkpoint-every", 0));
   r.max_restarts = static_cast<int>(cli.get_int("max-restarts", 2));
   r.nan_guard = static_cast<int>(cli.get_int("nan-guard", 0));
+  r.resil = cli.get_bool("resil", false);
+  r.retry_max = static_cast<int>(cli.get_int("retry-max", 8));
+  r.backoff_us = cli.get_int("backoff-us", 100);
+  r.degraded = cli.get_bool("degraded", false);
   return r;
 }
 

@@ -88,8 +88,15 @@ struct Robustness {
   int max_restarts = 2;        ///< crash-recovery attempts
   int nan_guard = 0;           ///< 0 off, 1 report, 2 abort
 
+  // --- bwresil (online localized recovery) ---------------------------------
+  bool resil = false;          ///< resilient Comm + buddy rollback
+  int retry_max = 8;           ///< receive retries before giving up
+  long long backoff_us = 100;  ///< initial retry backoff (doubles per try)
+  bool degraded = false;       ///< stale-data continue when retries exhaust
+
   /// Installs the process-global pieces: parses + installs the fault
-  /// plan (clears it when `faults` is empty) and sets the NaN policy.
+  /// plan (clears it when `faults` is empty), sets the NaN policy, and
+  /// installs (or clears) the bwresil policy.
   void install() const;
   /// Copies the per-run knobs into an application's Options.
   void apply(apps::Options& opt) const;
@@ -97,7 +104,8 @@ struct Robustness {
 
 /// Parses the shared robustness flags from an already-constructed Cli:
 /// --faults, --watchdog-ms, --checkpoint-every, --max-restarts,
-/// --nan-guard (seed comes from the common --seed flag).
+/// --nan-guard, --resil, --retry-max, --backoff-us, --degraded (seed
+/// comes from the common --seed flag).
 Robustness robustness_from_cli(const Cli& cli);
 
 }  // namespace bwlab::core

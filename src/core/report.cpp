@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/pattern.hpp"
+#include "common/resil.hpp"
 #include "common/trace.hpp"
 #include "core/attribution.hpp"
 #include "core/causal.hpp"
@@ -186,6 +187,25 @@ void write_run_report_json(std::ostream& os, const Instrumentation& instr,
   if (datmove != nullptr) {
     os << ",\n  \"datmove\": ";
     core::write_json(os, *datmove, 2);
+  }
+  // bwresil: only present when the resilience policy is active, so
+  // resil-off runs keep their report unchanged.
+  if (resil::active()) {
+    const resil::Policy& pol = resil::policy();
+    const resil::Stats st = resil::stats();
+    os << ",\n  \"resil\": {\n    \"policy\": {\"retry_max\": " << pol.retry_max
+       << ", \"timeout_us\": " << pol.timeout_us
+       << ", \"backoff_us\": " << pol.backoff_us
+       << ", \"backoff_cap_us\": " << pol.backoff_cap_us
+       << ", \"degraded\": " << (pol.degraded ? "true" : "false")
+       << ", \"seed\": " << pol.seed
+       << "},\n    \"retries\": " << st.retries
+       << ", \"recovered\": " << st.recovered
+       << ", \"degraded_events\": " << st.degraded_events
+       << ", \"backoff_waits\": " << st.backoff_waits
+       << ", \"rollbacks\": " << st.rollbacks
+       << ", \"buddy_restores\": " << st.buddy_restores
+       << ", \"buddy_bytes\": " << resil::buddy_total_bytes() << "\n  }";
   }
   // Trace health: only present when the tracer has (or had) events, so
   // untraced runs keep their report unchanged.

@@ -1,6 +1,7 @@
 #include "par/simmpi.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -14,6 +15,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
+#include "common/resil.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 
@@ -37,6 +39,9 @@ struct Message {
   int src;
   int tag;
   std::vector<char> payload;
+  /// bwresil wire sequence number per (src, dest, tag) stream; -1 when
+  /// the resilience policy is off (matching then ignores it).
+  long long seq = -1;
 };
 
 /// Thrown into ranks blocked on communication when a peer rank failed (or
@@ -47,7 +52,9 @@ struct AbortedError : bwlab::Error {
 };
 
 /// What a rank is currently blocked in, for the watchdog's diagnosis.
-enum class BlockedOp { None, Recv, Wait, Barrier, Allreduce, Done };
+/// Backoff is the bwresil retry sleep: the rank is live in its recovery
+/// protocol, so the watchdog must not count it as frozen.
+enum class BlockedOp { None, Recv, Wait, Barrier, Allreduce, Backoff, Done };
 
 const char* to_string(BlockedOp op) {
   switch (op) {
@@ -56,6 +63,7 @@ const char* to_string(BlockedOp op) {
     case BlockedOp::Wait: return "wait";
     case BlockedOp::Barrier: return "barrier";
     case BlockedOp::Allreduce: return "allreduce";
+    case BlockedOp::Backoff: return "backoff";
     case BlockedOp::Done: return "done";
   }
   return "?";
@@ -76,10 +84,10 @@ class World {
   int size() const { return n_; }
 
   void deliver(int src, int dest, int tag, const void* data,
-               std::size_t bytes) {
+               std::size_t bytes, long long seq = -1) {
     BWLAB_REQUIRE(dest >= 0 && dest < n_, "send to invalid rank " << dest);
     Mailbox& box = inbox_[static_cast<std::size_t>(dest)];
-    Message msg{src, tag, {}};
+    Message msg{src, tag, {}, seq};
     msg.payload.resize(bytes);
     std::memcpy(msg.payload.data(), data, bytes);
     {
@@ -94,11 +102,31 @@ class World {
     box.cv.notify_all();
   }
 
+  /// bwresil send-side bookkeeping, called *before* the fault hook so an
+  /// injected drop is recoverable: stamps the message with the next wire
+  /// seq of its (src, dest, tag) stream and appends a payload copy to the
+  /// replay log. Entries are pruned when the receiver acknowledges
+  /// consumption (resil_ack).
+  long long resil_stamp_send(int src, int dest, int tag, const void* data,
+                             std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(resil_mu_);
+    const std::array<int, 3> key{src, dest, tag};
+    const long long seq = resil_send_seq_[key]++;
+    ReplayEntry e;
+    e.seq = seq;
+    e.payload.assign(static_cast<const char*>(data),
+                     static_cast<const char*>(data) + bytes);
+    resil_replay_[key].push_back(std::move(e));
+    return seq;
+  }
+
   /// Blocks until a message matching (src, tag) is available for `dest`,
   /// then copies it out. Returns the time spent blocked. `op` is Recv or
-  /// Wait, for the watchdog's attribution only.
+  /// Wait, for the watchdog's attribution only. With a bwresil policy
+  /// active, dispatches to the timed retry/backoff protocol instead.
   seconds_t collect(int src, int dest, int tag, void* data,
                     std::size_t bytes, BlockedOp op) {
+    if (resil::active()) return collect_resil(src, dest, tag, data, bytes, op);
     BWLAB_REQUIRE(src >= 0 && src < n_, "recv from invalid rank " << src);
     Mailbox& box = inbox_[static_cast<std::size_t>(dest)];
     Timer timer;
@@ -129,6 +157,144 @@ class World {
     set_phase(dest, BlockedOp::None, -1, -1, 0);
     bump_activity();
     return timer.elapsed();
+  }
+
+  /// The resilient receive: match the *exact* expected wire seq of the
+  /// (src, tag) stream under a per-attempt timeout; on expiry, first try
+  /// the sender's replay log (this is the retransmit — it recovers
+  /// injected drops and outruns injected delays), then back off
+  /// (bounded exponential, seeded jitter) and retry. Exhausted retries
+  /// either continue degraded (buffer stays stale, stream advances) or
+  /// fall back to the plain blocking wait, where the watchdog still
+  /// guards against a genuine deadlock. Every attempt bumps the activity
+  /// counter: a rank inside this protocol is live, not frozen.
+  seconds_t collect_resil(int src, int dest, int tag, void* data,
+                          std::size_t bytes, BlockedOp op) {
+    BWLAB_REQUIRE(src >= 0 && src < n_, "recv from invalid rank " << src);
+    const resil::Policy pol = resil::policy();
+    Mailbox& box = inbox_[static_cast<std::size_t>(dest)];
+    Timer timer;
+    long long want = 0;
+    {
+      std::lock_guard<std::mutex> lock(resil_mu_);
+      want = resil_recv_seq_[{dest, src, tag}];
+    }
+    // Messages with a stale seq (an injected delay whose payload was
+    // already recovered from the replay log) are dropped during matching.
+    const auto stale = [&](const Message& m) {
+      return m.src == src && m.tag == tag && m.seq >= 0 && m.seq < want;
+    };
+    const auto wanted = [&](const Message& m) {
+      return m.src == src && m.tag == tag && (m.seq < 0 || m.seq == want);
+    };
+    int attempts = 0;
+    for (;;) {
+      set_phase(dest, op, src, tag, bytes, attempts);
+      bool got = false;
+      {
+        std::unique_lock<std::mutex> lock(box.mu);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(pol.timeout_us);
+        auto match = box.messages.end();
+        box.cv.wait_until(lock, deadline, [&] {
+          if (aborted_.load()) return true;
+          std::erase_if(box.messages, stale);
+          match = std::find_if(box.messages.begin(), box.messages.end(),
+                               wanted);
+          return match != box.messages.end();
+        });
+        if (aborted_.load()) {
+          lock.unlock();
+          set_phase(dest, BlockedOp::None, -1, -1, 0);
+          throw AbortedError();
+        }
+        if (match != box.messages.end()) {
+          BWLAB_REQUIRE(match->payload.size() == bytes,
+                        "message size mismatch: rank "
+                            << dest << " receiving from rank " << src
+                            << " tag " << tag << " expects " << bytes
+                            << " bytes, matching send carries "
+                            << match->payload.size());
+          std::memcpy(data, match->payload.data(), bytes);
+          box.messages.erase(match);
+          got = true;
+        }
+      }
+      if (got) {
+        resil_consume(src, dest, tag, want);
+        set_phase(dest, BlockedOp::None, -1, -1, 0);
+        bump_activity();
+        if (attempts > 0) resil::count_recovered();
+        return timer.elapsed();
+      }
+      // Timeout. Retransmit from the sender's replay log if it already
+      // holds the wanted seq (a dropped or still-delayed message).
+      if (resil_fetch_replay(src, dest, tag, want, data, bytes)) {
+        resil_consume(src, dest, tag, want);
+        set_phase(dest, BlockedOp::None, -1, -1, 0);
+        bump_activity();
+        resil::count_retry();
+        resil::count_recovered();
+        return timer.elapsed();
+      }
+      if (attempts >= pol.retry_max) {
+        if (pol.degraded) {
+          // Skip-and-extrapolate: leave the destination buffer stale
+          // (the caller's previous halo contents) and advance the
+          // stream so later messages still match.
+          trace::TraceSpan span(trace::Cat::Fault, "recovery:degraded");
+          resil_consume(src, dest, tag, want);
+          set_phase(dest, BlockedOp::None, -1, -1, 0);
+          bump_activity();
+          resil::count_degraded();
+          return timer.elapsed();
+        }
+        // Retries exhausted, degraded mode off: block like the plain
+        // path. The watchdog still converts a real deadlock into a
+        // diagnosed WatchdogError — resilience never hides one.
+        std::unique_lock<std::mutex> lock(box.mu);
+        auto match = box.messages.end();
+        box.cv.wait(lock, [&] {
+          if (aborted_.load()) return true;
+          std::erase_if(box.messages, stale);
+          match = std::find_if(box.messages.begin(), box.messages.end(),
+                               wanted);
+          return match != box.messages.end();
+        });
+        if (match == box.messages.end()) {
+          lock.unlock();
+          set_phase(dest, BlockedOp::None, -1, -1, 0);
+          throw AbortedError();
+        }
+        BWLAB_REQUIRE(match->payload.size() == bytes,
+                      "message size mismatch: rank "
+                          << dest << " receiving from rank " << src
+                          << " tag " << tag << " expects " << bytes
+                          << " bytes, matching send carries "
+                          << match->payload.size());
+        std::memcpy(data, match->payload.data(), bytes);
+        box.messages.erase(match);
+        lock.unlock();
+        resil_consume(src, dest, tag, want);
+        set_phase(dest, BlockedOp::None, -1, -1, 0);
+        bump_activity();
+        resil::count_recovered();
+        return timer.elapsed();
+      }
+      // Backoff before the next attempt. The Backoff phase keeps the
+      // watchdog from counting this rank as frozen, and the activity
+      // bump restarts its stability window.
+      ++attempts;
+      resil::count_retry();
+      set_phase(dest, BlockedOp::Backoff, src, tag, bytes, attempts);
+      bump_activity();
+      {
+        trace::TraceSpan span(trace::Cat::Fault, "recovery:backoff");
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            resil::backoff_delay_us(dest, attempts - 1)));
+      }
+      resil::count_backoff();
+    }
   }
 
   seconds_t barrier(int rank) {
@@ -250,7 +416,10 @@ class World {
     int live = 0;
     for (const RankPhase& p : phases_) {
       if (p.op == BlockedOp::Done) continue;
-      if (p.op == BlockedOp::None) return false;
+      // A rank sleeping in bwresil backoff is live inside its retry
+      // protocol (it will wake and act on its own), not frozen.
+      if (p.op == BlockedOp::None || p.op == BlockedOp::Backoff)
+        return false;
       ++live;
     }
     return live > 0;
@@ -282,12 +451,19 @@ class World {
         case BlockedOp::Wait:
           os << "blocked in " << to_string(p.op) << "(src=" << p.peer
              << ", tag=" << p.tag << ", bytes=" << p.bytes << ")";
+          if (p.attempt > 0)
+            os << " retrying, attempt " << p.attempt;
           break;
         case BlockedOp::Barrier:
           os << "blocked in barrier";
           break;
         case BlockedOp::Allreduce:
           os << "blocked in allreduce(bytes=" << p.bytes << ")";
+          break;
+        case BlockedOp::Backoff:
+          os << "in retry backoff for recv(src=" << p.peer
+             << ", tag=" << p.tag << ", bytes=" << p.bytes
+             << "), attempt " << p.attempt;
           break;
         case BlockedOp::None:
           os << "running";
@@ -361,16 +537,56 @@ class World {
     int peer = -1;
     int tag = -1;
     std::size_t bytes = 0;
+    int attempt = 0;  ///< bwresil retry attempt count (0 = first try)
+  };
+  /// One logged send awaiting receiver acknowledgement (bwresil).
+  struct ReplayEntry {
+    long long seq = -1;
+    std::vector<char> payload;
   };
 
   void set_phase(int rank, BlockedOp op, int peer, int tag,
-                 std::size_t bytes) {
+                 std::size_t bytes, int attempt = 0) {
     std::lock_guard<std::mutex> lock(state_mu_);
     RankPhase& p = phases_[static_cast<std::size_t>(rank)];
     p.op = op;
     p.peer = peer;
     p.tag = tag;
     p.bytes = bytes;
+    p.attempt = attempt;
+  }
+
+  /// Copies the replay-log entry with wire seq `want` of stream
+  /// (src → dest, tag) into `data`, if present.
+  bool resil_fetch_replay(int src, int dest, int tag, long long want,
+                          void* data, std::size_t bytes) {
+    trace::TraceSpan span(trace::Cat::Fault, "recovery:replay");
+    std::lock_guard<std::mutex> lock(resil_mu_);
+    auto it = resil_replay_.find({src, dest, tag});
+    if (it == resil_replay_.end()) return false;
+    for (const ReplayEntry& e : it->second) {
+      if (e.seq != want) continue;
+      BWLAB_REQUIRE(e.payload.size() == bytes,
+                    "message size mismatch: rank "
+                        << dest << " replaying from rank " << src << " tag "
+                        << tag << " expects " << bytes
+                        << " bytes, logged send carries "
+                        << e.payload.size());
+      std::memcpy(data, e.payload.data(), bytes);
+      return true;
+    }
+    return false;
+  }
+
+  /// Acknowledges consumption of wire seq `seq`: advances the expected
+  /// receive seq and prunes acknowledged entries from the replay log.
+  void resil_consume(int src, int dest, int tag, long long seq) {
+    std::lock_guard<std::mutex> lock(resil_mu_);
+    resil_recv_seq_[{dest, src, tag}] = seq + 1;
+    auto it = resil_replay_.find({src, dest, tag});
+    if (it == resil_replay_.end()) return;
+    auto& log = it->second;
+    while (!log.empty() && log.front().seq <= seq) log.pop_front();
   }
 
   void bump_activity() {
@@ -390,6 +606,15 @@ class World {
   std::vector<std::atomic<long long>> sends_;
   std::vector<std::atomic<long long>> bytes_;
   std::vector<std::atomic<long long>> pending_irecv_;
+
+  // bwresil per-stream state: wire seq counters and the sender-side
+  // replay log, all keyed (src, dest, tag) — except recv seqs, keyed
+  // (dest, src, tag). Touched only when a policy is active, never on the
+  // disabled hot path.
+  std::mutex resil_mu_;
+  std::map<std::array<int, 3>, long long> resil_send_seq_;
+  std::map<std::array<int, 3>, long long> resil_recv_seq_;
+  std::map<std::array<int, 3>, std::deque<ReplayEntry>> resil_replay_;
 };
 
 int Comm::size() const { return world_->size(); }
@@ -406,12 +631,18 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   trace::TraceSpan span(
       trace::Cat::Comm, "send", {},
       trace::CommArgs{dest, tag, seq, static_cast<unsigned long long>(bytes)});
+  // bwresil: stamp the wire seq and append to the replay log *before*
+  // the fault hook, so an injected drop (which happens downstream) stays
+  // recoverable by the receiver's retransmit path.
+  const long long wire_seq =
+      resil::active() ? world_->resil_stamp_send(rank_, dest, tag, data, bytes)
+                      : -1;
   const auto deliver = [&](const void* wire) {
     if (traced) {
       ++send_seq_[{dest, tag}];
       trace::flow_start(trace::flow_id(rank_, dest, tag, seq));
     }
-    world_->deliver(rank_, dest, tag, wire, bytes);
+    world_->deliver(rank_, dest, tag, wire, bytes, wire_seq);
   };
   if (fault::active()) {
     // Copy first so an injected payload flip corrupts the wire bytes,

@@ -1,0 +1,535 @@
+// Tests for bwresil: exact step accounting across localized rollback, the
+// resilient Comm retry/replay/backoff protocol (drops and delays survived
+// without tripping the watchdog, degraded-mode continuation, retry
+// attempts named in the watchdog dump), bitwise buddy-checkpoint fidelity
+// ghosts included, the headline acceptance scenario — CloverLeaf 2D
+// recovering from an injected crash via buddy restore with no supervisor
+// restart and a checksum equal to the fault-free run — and the `recovery`
+// critical-path bucket.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/cloverleaf/cloverleaf2d.hpp"
+#include "apps/resilient_loop.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/resil.hpp"
+#include "common/snapshot.hpp"
+#include "common/trace.hpp"
+#include "core/causal.hpp"
+#include "ops/checkpoint.hpp"
+#include "par/simmpi.hpp"
+
+namespace bwlab {
+namespace {
+
+/// Fault plans, the resil policy and the buddy board are process-global;
+/// every test restores the clean state so nothing leaks across tests.
+class ResilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::clear();
+    resil::clear();
+    resil::buddy_clear();
+    trace::disable();
+    trace::reset();
+  }
+  void TearDown() override {
+    fault::clear();
+    resil::clear();
+    resil::buddy_clear();
+    trace::disable();
+    trace::reset();
+  }
+};
+
+resil::Policy enabled_policy() {
+  resil::Policy p;
+  p.enabled = true;
+  p.seed = 42;
+  return p;
+}
+
+// --- Step accounting across localized rollback -------------------------------
+
+/// A scalar "solver" whose state depends on the exact step order, plus
+/// the checkpoint plumbing run_resilient_loop expects.
+struct ScalarLoop {
+  double x = 0;
+  fault::SnapshotStore store;
+
+  apps::ResilientLoop loop(long long iters, int ckpt_every) {
+    apps::ResilientLoop lp;
+    lp.rank = 0;
+    lp.iterations = iters;
+    lp.checkpoint_every = ckpt_every;
+    lp.store = &store;
+    lp.step = [this](long long it) { x = 3.0 * x + double(it + 1); };
+    lp.capture = [this](long long it) {
+      store.begin(it);
+      store.capture_raw("x", &x, sizeof x, sizeof x);
+      store.commit();
+    };
+    lp.restore = [this] { store.restore_raw("x", &x, sizeof x, sizeof x); };
+    lp.reinit = [this] { x = 0; };
+    return lp;
+  }
+};
+
+TEST_F(ResilTest, StepSequenceWithoutFaultsIsIdenticalOnBothProtocols) {
+  ScalarLoop plain;
+  const std::vector<long long> seq_plain =
+      apps::run_resilient_loop(plain.loop(10, 3));
+
+  resil::install(enabled_policy());
+  resil::buddy_resize(1);
+  ScalarLoop local;
+  const std::vector<long long> seq_local =
+      apps::run_resilient_loop(local.loop(10, 3));
+
+  const std::vector<long long> want = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(seq_plain, want);
+  EXPECT_EQ(seq_local, want);
+  EXPECT_DOUBLE_EQ(local.x, plain.x);
+}
+
+TEST_F(ResilTest, StepSequenceAcrossLocalizedRollbackIsExact) {
+  // Fault-free reference value.
+  ScalarLoop ref;
+  apps::run_resilient_loop(ref.loop(10, 3));
+
+  resil::install(enabled_policy());
+  resil::buddy_resize(1);
+  fault::install(fault::FaultPlan::parse("crash:rank=0,step=7", 42));
+  ScalarLoop s;
+  const std::vector<long long> seq = apps::run_resilient_loop(s.loop(10, 3));
+
+  // Checkpoints commit after steps 2 and 5; the crash at the top of step
+  // 7 rolls back to 5+1=6, so 6 executes twice and nothing else repeats.
+  const std::vector<long long> want = {0, 1, 2, 3, 4, 5, 6, 6, 7, 8, 9};
+  EXPECT_EQ(seq, want);
+  EXPECT_DOUBLE_EQ(s.x, ref.x);
+  EXPECT_EQ(resil::stats().rollbacks, 1);
+  EXPECT_EQ(resil::stats().buddy_restores, 1);
+  ASSERT_EQ(fault::events().size(), 1u);
+  EXPECT_EQ(fault::events()[0].kind, fault::Kind::Crash);
+}
+
+TEST_F(ResilTest, CrashBeforeFirstCheckpointReinitializes) {
+  ScalarLoop ref;
+  apps::run_resilient_loop(ref.loop(5, 0));
+
+  resil::install(enabled_policy());
+  resil::buddy_resize(1);
+  fault::install(fault::FaultPlan::parse("crash:rank=0,step=2", 42));
+  ScalarLoop s;
+  const std::vector<long long> seq = apps::run_resilient_loop(s.loop(5, 0));
+
+  // No checkpoint exists, so the rollback re-initializes to step 0.
+  const std::vector<long long> want = {0, 1, 0, 1, 2, 3, 4};
+  EXPECT_EQ(seq, want);
+  EXPECT_DOUBLE_EQ(s.x, ref.x);
+}
+
+// --- Resilient Comm: retry, replay, backoff, degraded mode -------------------
+
+TEST_F(ResilTest, DroppedMessageIsRecoveredFromReplayLog) {
+  // The exact scenario test_par proves wedges into a WatchdogError
+  // without resil: with the policy on, the receiver's timeout fetches
+  // the payload from the sender's replay log instead.
+  fault::install(fault::FaultPlan::parse("drop:rank=0,msg=0", 7));
+  resil::install(enabled_policy());
+  par::RunOptions ro;
+  ro.watchdog_grace_ms = 150;
+  std::array<double, 2> got = {0, 0};
+  EXPECT_NO_THROW(par::run_ranks(
+      2,
+      [&got](par::Comm& c) {
+        double x = 1.25;
+        if (c.rank() == 0) {
+          c.send(1, 9, &x, sizeof x);
+        } else {
+          double y = 0;
+          c.recv(0, 9, &y, sizeof y);
+          got[1] = y;
+        }
+      },
+      ro));
+  EXPECT_DOUBLE_EQ(got[1], 1.25);
+  EXPECT_GE(resil::stats().retries, 1);
+  EXPECT_GE(resil::stats().recovered, 1);
+}
+
+TEST_F(ResilTest, DelayedMessageOutrunByReplayThenDeduplicated) {
+  // A 50 ms delay far beyond the 2 ms receive timeout: the replay log
+  // satisfies the receive first, and the late original must be discarded
+  // as a stale duplicate so the *next* message on the stream still
+  // matches its expected sequence number.
+  fault::install(fault::FaultPlan::parse("delay:rank=0,us=50000,msg=0", 7));
+  resil::install(enabled_policy());
+  par::RunOptions ro;
+  ro.watchdog_grace_ms = 1000;
+  std::array<double, 2> got = {0, 0};
+  EXPECT_NO_THROW(par::run_ranks(
+      2,
+      [&got](par::Comm& c) {
+        if (c.rank() == 0) {
+          double a = 3.5, b = 4.5;
+          c.send(1, 9, &a, sizeof a);
+          c.send(1, 9, &b, sizeof b);
+        } else {
+          double a = 0, b = 0;
+          c.recv(0, 9, &a, sizeof a);
+          c.recv(0, 9, &b, sizeof b);
+          got[0] = a;
+          got[1] = b;
+        }
+      },
+      ro));
+  EXPECT_DOUBLE_EQ(got[0], 3.5);
+  EXPECT_DOUBLE_EQ(got[1], 4.5);
+  EXPECT_GE(resil::stats().recovered, 1);
+}
+
+TEST_F(ResilTest, DegradedModeBreaksHeadToHeadDeadlock) {
+  // Both ranks receive before either sends — a guaranteed deadlock on
+  // the plain path. With degraded mode on, both exhaust their retries,
+  // keep their stale buffers, advance the stream and complete.
+  resil::Policy pol = enabled_policy();
+  pol.retry_max = 2;
+  pol.backoff_us = 500;
+  pol.degraded = true;
+  resil::install(pol);
+  par::RunOptions ro;
+  ro.watchdog_grace_ms = 2000;
+  std::array<double, 2> got = {-1, -1};
+  EXPECT_NO_THROW(par::run_ranks(
+      2,
+      [&got](par::Comm& c) {
+        const int peer = 1 - c.rank();
+        double in = -1, out = 10.0 + c.rank();
+        c.recv(peer, 5, &in, sizeof in);
+        c.send(peer, 5, &out, sizeof out);
+        got[static_cast<std::size_t>(c.rank())] = in;
+      },
+      ro));
+  // At least one rank had to continue degraded to break the deadlock;
+  // its send may then satisfy the peer's still-pending receive, so each
+  // buffer is either stale (-1) or the peer's real payload.
+  EXPECT_GE(resil::stats().degraded_events, 1);
+  EXPECT_GE(resil::stats().backoff_waits, 2);
+  EXPECT_TRUE(got[0] == -1.0 || got[0] == 11.0) << got[0];
+  EXPECT_TRUE(got[1] == -1.0 || got[1] == 10.0) << got[1];
+}
+
+TEST_F(ResilTest, LateSenderSurvivedByBackoffCycles) {
+  // The sender only sends after 60 ms; the receiver cycles through timed
+  // waits and backoff sleeps (live, not frozen) under a 2 s grace.
+  resil::Policy pol = enabled_policy();
+  pol.retry_max = 100;
+  pol.backoff_us = 2000;
+  resil::install(pol);
+  par::RunOptions ro;
+  ro.watchdog_grace_ms = 2000;
+  double got = 0;
+  EXPECT_NO_THROW(par::run_ranks(
+      2,
+      [&got](par::Comm& c) {
+        double x = 7.75;
+        if (c.rank() == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(60));
+          c.send(1, 3, &x, sizeof x);
+        } else {
+          double y = 0;
+          c.recv(0, 3, &y, sizeof y);
+          got = y;
+        }
+      },
+      ro));
+  EXPECT_DOUBLE_EQ(got, 7.75);
+  EXPECT_GE(resil::stats().backoff_waits, 1);
+}
+
+TEST_F(ResilTest, WatchdogDumpNamesPendingRetries) {
+  // A genuine deadlock — the wanted message is never sent — must still
+  // be diagnosed, and the dump must name the pending retry attempts.
+  resil::Policy pol = enabled_policy();
+  pol.retry_max = 2;
+  pol.backoff_us = 500;
+  resil::install(pol);
+  par::RunOptions ro;
+  ro.watchdog_grace_ms = 150;
+  try {
+    par::run_ranks(
+        2,
+        [](par::Comm& c) {
+          if (c.rank() == 0) {
+            double x = 0;
+            c.recv(1, 4, &x, sizeof x);  // never sent
+          }
+        },
+        ro);
+    FAIL() << "expected WatchdogError";
+  } catch (const par::WatchdogError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("retrying, attempt"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(ResilTest, BackoffDelayIsDeterministicBoundedAndSeeded) {
+  resil::Policy pol = enabled_policy();
+  pol.backoff_us = 100;
+  pol.backoff_cap_us = 1600;
+  resil::install(pol);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const long long a = resil::backoff_delay_us(3, attempt);
+    const long long b = resil::backoff_delay_us(3, attempt);
+    EXPECT_EQ(a, b);  // pure function of (policy, rank, attempt)
+    const long long base = std::min<long long>(100LL << attempt, 1600);
+    EXPECT_GE(a, base);
+    EXPECT_LE(a, base + base / 4 + 1);
+  }
+  // Different seeds give a different jitter schedule somewhere.
+  std::vector<long long> first;
+  for (int attempt = 0; attempt < 10; ++attempt)
+    first.push_back(resil::backoff_delay_us(3, attempt));
+  pol.seed = 43;
+  resil::install(pol);
+  std::vector<long long> second;
+  for (int attempt = 0; attempt < 10; ++attempt)
+    second.push_back(resil::backoff_delay_us(3, attempt));
+  EXPECT_NE(first, second);
+}
+
+// --- Buddy-checkpoint fidelity ----------------------------------------------
+
+TEST_F(ResilTest, BuddyMirrorRoundTripsGhostsBitwise) {
+  ops::Context ctx;
+  ops::Block b(ctx, "g", 2, {8, 8, 1});
+  ops::Dat<double> u(b, "u", 2);
+  u.set_bc_all(ops::Bc::CopyNearest);
+  u.fill_indexed(
+      [](idx_t i, idx_t j, idx_t) { return 10.0 * double(i) + double(j); });
+  u.exchange_halos();  // fills edge and corner ghosts
+  const double interior = u.at(3, 4);
+  const double edge_ghost = u.at(-1, 4);
+  const double corner_ghost = u.at(-1, -1);
+  std::vector<char> alloc_before(u.alloc_count() * sizeof(double));
+  std::memcpy(alloc_before.data(), u.alloc_data(), alloc_before.size());
+
+  ops::CheckpointStore store;
+  store.begin(5);
+  store.capture(u);
+  store.commit();
+
+  resil::buddy_resize(2);
+  resil::buddy_mirror(0, store);
+  ASSERT_TRUE(resil::buddy_has(0));
+  EXPECT_EQ(resil::buddy_step(0), 5);
+  EXPECT_FALSE(resil::buddy_has(1));
+  // The mirror is the exact serialized wire format.
+  EXPECT_EQ(resil::buddy_bytes(0), store.serialize());
+
+  // Clobber the field, then restore through a *fresh* store from the
+  // buddy's bytes — the failed-rank recovery path.
+  u.fill_indexed([](idx_t, idx_t, idx_t) { return -1.0; });
+  u.exchange_halos();
+  ops::CheckpointStore recovered;
+  resil::buddy_restore(0, recovered);
+  EXPECT_TRUE(recovered.valid());
+  EXPECT_EQ(recovered.step(), 5);
+  recovered.restore(u);
+
+  EXPECT_DOUBLE_EQ(u.at(3, 4), interior);
+  EXPECT_DOUBLE_EQ(u.at(-1, 4), edge_ghost);
+  EXPECT_DOUBLE_EQ(u.at(-1, -1), corner_ghost);  // PR-5 corner-ghost case
+  // Bitwise equality over the whole allocation, ghosts included.
+  EXPECT_EQ(std::memcmp(u.alloc_data(), alloc_before.data(),
+                        alloc_before.size()),
+            0);
+  EXPECT_EQ(resil::stats().buddy_restores, 1);
+  EXPECT_GE(resil::buddy_total_bytes(), alloc_before.size());
+}
+
+TEST_F(ResilTest, SnapshotSerializeDeserializeRoundTrips) {
+  fault::SnapshotStore store;
+  std::vector<double> u = {1.5, -2.5, 3.25};
+  store.begin(9);
+  store.capture_raw("u", u.data(), u.size() * sizeof(double), sizeof(double));
+  store.commit();
+  const std::vector<char> bytes = store.serialize();
+
+  fault::SnapshotStore loaded;
+  loaded.deserialize(bytes);
+  EXPECT_TRUE(loaded.valid());
+  EXPECT_EQ(loaded.step(), 9);
+  EXPECT_EQ(loaded.fields(), 1u);
+  std::vector<double> v(3, 0.0);
+  loaded.restore_raw("u", v.data(), v.size() * sizeof(double),
+                     sizeof(double));
+  EXPECT_EQ(v, u);
+  EXPECT_EQ(loaded.serialize(), bytes);
+
+  // Truncated input is a diagnosed error, not a crash.
+  std::vector<char> cut(bytes.begin(), bytes.begin() + 10);
+  fault::SnapshotStore bad;
+  EXPECT_THROW(bad.deserialize(cut), Error);
+}
+
+// --- CloverLeaf acceptance scenarios -----------------------------------------
+
+apps::Options clover_options() {
+  apps::Options opt;
+  opt.n = 16;
+  opt.iterations = 6;
+  opt.ranks = 2;
+  opt.watchdog_ms = 4000;
+  opt.checkpoint_every = 2;
+  return opt;
+}
+
+TEST_F(ResilTest, CloverCrashRecoversLocallyWithoutSupervisorRestart) {
+  const apps::Options opt = clover_options();
+  resil::install(enabled_policy());
+  const apps::Result ref = apps::clover2d::run(opt);
+
+  fault::install(fault::FaultPlan::parse("crash:rank=1,step=3", 42));
+  resil::install(enabled_policy());  // reset stats
+  const apps::Result res = apps::clover2d::run(opt);
+
+  EXPECT_EQ(res.metric("restarts"), 0.0);  // no supervisor world-restart
+  EXPECT_GE(res.metric("rollbacks"), 1.0);
+  EXPECT_GE(res.metric("buddy_restores"), 1.0);
+  EXPECT_NEAR(res.checksum, ref.checksum,
+              1e-12 * std::max(1.0, std::abs(ref.checksum)));
+}
+
+TEST_F(ResilTest, CloverSurvivesDropAndDelayWithEqualChecksum) {
+  const apps::Options opt = clover_options();
+  resil::install(enabled_policy());
+  const apps::Result ref = apps::clover2d::run(opt);
+
+  fault::install(fault::FaultPlan::parse(
+      "drop:rank=1,msg=2;delay:rank=0,us=20000,msg=1", 42));
+  resil::install(enabled_policy());
+  const apps::Result res = apps::clover2d::run(opt);
+
+  EXPECT_EQ(res.metric("restarts"), 0.0);
+  EXPECT_GE(resil::stats().recovered, 1);
+  EXPECT_NEAR(res.checksum, ref.checksum,
+              1e-12 * std::max(1.0, std::abs(ref.checksum)));
+}
+
+TEST_F(ResilTest, CampaignClassificationIsDeterministic) {
+  // A miniature fault campaign run twice must classify identically —
+  // the property tools/fault_campaign gates at full scale.
+  const apps::Options opt = [] {
+    apps::Options o;
+    o.n = 12;
+    o.iterations = 4;
+    o.ranks = 2;
+    o.watchdog_ms = 4000;
+    o.checkpoint_every = 2;
+    return o;
+  }();
+  const std::vector<std::string> plans = {
+      "drop:rank=1,msg=0", "delay:rank=0,us=5000,msg=1",
+      "crash:rank=1,step=2"};
+
+  resil::install(enabled_policy());
+  const apps::Result ref = apps::clover2d::run(opt);
+
+  const auto classify = [&]() {
+    std::string vec;
+    for (const std::string& spec : plans) {
+      fault::install(fault::FaultPlan::parse(spec, 42));
+      resil::install(enabled_policy());
+      char c = 'X';
+      try {
+        const apps::Result r = apps::clover2d::run(opt);
+        const double err = std::abs(r.checksum - ref.checksum) /
+                           std::max(1.0, std::abs(ref.checksum));
+        if (r.metric("restarts") > 0)
+          c = 'R';
+        else if (resil::stats().degraded_events == 0 && err <= 1e-12)
+          c = 'C';
+        else
+          c = 'D';
+      } catch (const Error&) {
+        c = 'X';
+      }
+      fault::clear();
+      vec.push_back(c);
+    }
+    return vec;
+  };
+
+  const std::string first = classify();
+  const std::string second = classify();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, "CCC");  // every cell survives clean
+}
+
+// --- The `recovery` critical-path bucket -------------------------------------
+
+TEST_F(ResilTest, RecoverySpansGetTheirOwnCriticalPathBucket) {
+  // Synthetic single-rank timeline: kernel work interrupted by a
+  // recovery span. The walk must attribute exactly that interval to the
+  // `recovery` bucket and the buckets must sum to the path length.
+  constexpr std::uint64_t kMs = 1000000;
+  trace::TrackView t;
+  t.rank = 0;
+  t.tid = 0;
+  const auto span = [](std::uint64_t ts, trace::Cat cat,
+                       const std::string& name) {
+    trace::EventView e;
+    e.ph = 'B';
+    e.ts_ns = ts;
+    e.cat = cat;
+    e.name = name;
+    return e;
+  };
+  const auto end = [](std::uint64_t ts) {
+    trace::EventView e;
+    e.ph = 'E';
+    e.ts_ns = ts;
+    return e;
+  };
+  t.events = {span(0, trace::Cat::Kernel, "advec"), end(10 * kMs),
+              span(10 * kMs, trace::Cat::Fault, "recovery:rollback"),
+              end(14 * kMs),
+              span(14 * kMs, trace::Cat::Kernel, "advec"), end(20 * kMs)};
+  const core::causal::Report r = core::causal::analyze({t});
+  EXPECT_NEAR(r.path.bucket_s.at("recovery"), 0.004, 1e-9);
+  EXPECT_NEAR(r.path.bucket_s.at("kernel"), 0.016, 1e-9);
+  double sum = 0;
+  for (const auto& [bucket, s] : r.path.bucket_s) sum += s;
+  EXPECT_NEAR(sum, r.path.length_s, 1e-12);
+}
+
+TEST_F(ResilTest, LiveCrashRecoveryAppearsInRecoveryBucket) {
+  fault::install(fault::FaultPlan::parse("crash:rank=1,step=3", 42));
+  resil::install(enabled_policy());
+  trace::enable();
+  const apps::Result res = apps::clover2d::run(clover_options());
+  trace::disable();
+  EXPECT_GE(res.metric("rollbacks"), 1.0);
+
+  const core::causal::Report r = core::causal::analyze_live();
+  double sum = 0;
+  for (const auto& [bucket, s] : r.path.bucket_s) sum += s;
+  EXPECT_NEAR(sum, r.path.length_s, 1e-9);
+  const auto it = r.path.bucket_s.find("recovery");
+  ASSERT_NE(it, r.path.bucket_s.end());
+  EXPECT_GT(it->second, 0.0);
+}
+
+}  // namespace
+}  // namespace bwlab
