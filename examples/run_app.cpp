@@ -54,16 +54,19 @@
 #include "apps/miniweather/miniweather.hpp"
 #include "apps/opensbli/opensbli.hpp"
 #include "apps/volna/volna.hpp"
+#include "common/benchjson.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/metrics.hpp"
 #include "common/resil.hpp"
+#include "common/table.hpp"
 #include "common/trace.hpp"
 #include "core/attribution.hpp"
 #include "core/causal.hpp"
 #include "core/config.hpp"
 #include "core/datmove.hpp"
+#include "core/diff.hpp"
 #include "core/report.hpp"
 #include "core/tuning.hpp"
 
@@ -104,6 +107,33 @@ apps::Result dispatch(const std::string& app, const apps::Options& opt) {
   return {};  // unreachable
 }
 
+/// The exact command line, for the report's provenance stamp.
+std::string join_cmdline(int argc, char** argv) {
+  std::string out;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) out += ' ';
+    out += argv[i];
+  }
+  return out;
+}
+
+/// Histogram tail latencies (p50/p95/p99 from the log2 buckets, linear
+/// within-bucket interpolation), printed alongside --metrics.
+Table metrics_percentile_table(const MetricsSnapshot& snap) {
+  Table t("Histogram percentiles");
+  t.set_columns({{"histogram", 0},
+                 {"count", 0},
+                 {"mean", 6},
+                 {"p50", 6},
+                 {"p95", 6},
+                 {"p99", 6}});
+  for (const auto& [name, h] : snap.histograms)
+    t.add_row({name, static_cast<double>(h.count),
+               h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0,
+               h.p50, h.p95, h.p99});
+  return t;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,6 +146,8 @@ int main(int argc, char** argv) {
               << "  --seed=S\n"
               << "  --trace=FILE --metrics=FILE --report=FILE --summary\n"
               << "  --causal --trace-buffer=N\n"
+              << "  --diff-against=REPORT.json (print the bwdiff delta "
+                 "tables vs a saved run)\n"
               << "  --datmove --placement=auto|hbm|ddr\n"
               << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
@@ -202,6 +234,8 @@ int main(int argc, char** argv) {
   if (!obs.metrics_path.empty()) {
     MetricsRegistry::global().write_json_file(obs.metrics_path);
     std::cout << "metrics written to " << obs.metrics_path << "\n";
+    metrics_percentile_table(MetricsRegistry::global().snapshot())
+        .print(std::cout);
   }
   // Roofline attribution: the measured loop records vs the chosen
   // machine model's predictions at the run's own scale.
@@ -216,11 +250,18 @@ int main(int argc, char** argv) {
     dm = core::DataMoveProfiler::analyze(result.instr, &machine,
                                          cli.get("placement", "auto"));
   }
+  // Provenance stamp: commit, machine model, exact command line, seed —
+  // no timestamps, so identical runs produce byte-identical reports.
+  core::RunProvenance prov;
+  prov.git_sha = benchjson::git_sha();
+  prov.machine = machine.id;
+  prov.cmdline = join_cmdline(argc, argv);
+  prov.seed = opt.seed;
+  const core::RunReport report = core::make_run_report(
+      result.instr, &MetricsRegistry::global(), &attr,
+      obs.causal ? &causal_rep : nullptr, datmove_on ? &dm : nullptr, &prov);
   if (!obs.report_path.empty()) {
-    core::write_run_report_json_file(obs.report_path, result.instr,
-                                     &MetricsRegistry::global(), &attr,
-                                     obs.causal ? &causal_rep : nullptr,
-                                     datmove_on ? &dm : nullptr);
+    core::write_run_report_json_file(obs.report_path, report);
     std::cout << "report written to " << obs.report_path << "\n";
   }
 
@@ -283,6 +324,27 @@ int main(int argc, char** argv) {
     core::datmove_tier_table(dm).print(std::cout);
     std::cout << "\n";
     core::datmove_reuse_table(dm).print(std::cout);
+  }
+  // bwdiff: compare this run against a saved baseline report at exit.
+  const std::string diff_against = cli.get("diff-against", "");
+  if (!diff_against.empty()) {
+    const core::RunReport baseline = core::read_run_report(diff_against);
+    const core::DiffReport diff = core::diff_runs(baseline, report);
+    std::cout << "\ndiff vs " << diff_against << " (A = baseline, B = this "
+              << "run)\nwall ("
+              << (diff.wall_from_causal ? "causal" : "loops")
+              << "): " << diff.a_wall_seconds << " s -> "
+              << diff.b_wall_seconds << " s (delta "
+              << diff.wall_delta_seconds << " s)\n\n";
+    core::diff_loops_table(diff).print(std::cout);
+    if (diff.has_buckets) {
+      std::cout << "\n";
+      core::diff_buckets_table(diff).print(std::cout);
+    }
+    if (diff.has_dats) {
+      std::cout << "\n";
+      core::diff_dats_table(diff).print(std::cout);
+    }
   }
   return 0;
 }

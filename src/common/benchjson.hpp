@@ -69,6 +69,10 @@ std::string git_sha();
 /// Synthetic slowdown factor for gate testing: $BWBENCH_PERTURB (> 0)
 /// multiplies every measured duration, so a perturbed run regresses
 /// every timing-derived metric by a known amount. 1.0 when unset.
+/// Applied by bench::Runner at sample-recording time and by
+/// core::make_run_report to the snapshotted per-loop times, so both
+/// the bench_compare gate and the run_diff pipeline can be exercised
+/// against a known regression.
 double perturb_factor();
 
 /// Repetition-count override for CI determinism: $BWBENCH_REPS if set

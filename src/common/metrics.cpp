@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <ostream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -31,12 +32,35 @@ void write_section(std::ostream& os, const char* key, const Map& m, Fn emit,
     first = false;
     write_escaped(os, name);
     os << "\": ";
-    emit(*inst);
+    emit(inst);
   }
   os << (first ? "}" : "\n  }") << (last ? "\n" : ",\n");
 }
 
 }  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\n";
+  write_section(os, "counters", snap.counters,
+                [&os](count_t c) { os << c; });
+  write_section(os, "gauges", snap.gauges, [&os](double g) { os << g; });
+  write_section(
+      os, "histograms", snap.histograms,
+      [&os](const HistogramSnapshot& h) {
+        os << "{\"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"p50\": " << h.p50 << ", \"p95\": " << h.p95
+           << ", \"p99\": " << h.p99 << ", \"buckets\": {";
+        bool first = true;
+        for (const auto& [i, n] : h.buckets) {
+          os << (first ? "" : ", ") << "\"le_"
+             << Histogram::bucket_upper_bound(i) << "\": " << n;
+          first = false;
+        }
+        os << "}}";
+      },
+      /*last=*/true);
+  os << "}\n";
+}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -59,30 +83,27 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *it->second;
 }
 
-void MetricsRegistry::write_json(std::ostream& os) const {
+MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  os << "{\n";
-  write_section(os, "counters", counters_,
-                [&os](const Counter& c) { os << c.value(); });
-  write_section(os, "gauges", gauges_,
-                [&os](const Gauge& g) { os << g.value(); });
-  write_section(
-      os, "histograms", histograms_,
-      [&os](const Histogram& h) {
-        os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
-           << ", \"buckets\": {";
-        bool first = true;
-        for (int i = 0; i < Histogram::kBuckets; ++i) {
-          const count_t n = h.bucket(i);
-          if (n == 0) continue;
-          os << (first ? "" : ", ") << "\"le_"
-             << Histogram::bucket_upper_bound(i) << "\": " << n;
-          first = false;
-        }
-        os << "}}";
-      },
-      /*last=*/true);
-  os << "}\n";
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.p50 = h->percentile(0.50);
+    hs.p95 = h->percentile(0.95);
+    hs.p99 = h->percentile(0.99);
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+      if (const count_t n = h->bucket(i); n > 0) hs.buckets.emplace_back(i, n);
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  write_metrics_json(os, snapshot());
 }
 
 void MetricsRegistry::write_json_file(const std::string& path) const {

@@ -23,6 +23,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -94,6 +96,35 @@ class Histogram {
     return buckets_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
   }
+
+  /// Percentile estimate (q in [0, 1]) with within-bucket linear
+  /// interpolation: the q·count-th observation is located in its bucket
+  /// and placed proportionally between the bucket's bounds (lower bound 0
+  /// for bucket 0). Exact at bucket boundaries, ≤ one-bucket-width error
+  /// inside; 0 when the histogram is empty. This is what lets run diffs
+  /// compare tail latencies (p95/p99), not just counts and sums.
+  double percentile(double q) const {
+    const count_t n = count();
+    if (n == 0) return 0.0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const double target = q * static_cast<double>(n);
+    double cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const double in_bucket = static_cast<double>(bucket(i));
+      if (in_bucket == 0) continue;
+      if (cum + in_bucket >= target) {
+        const double lo = i == 0 ? 0.0 : bucket_upper_bound(i - 1);
+        const double hi = bucket_upper_bound(i);
+        const double frac = (target - cum) / in_bucket;
+        return lo + frac * (hi - lo);
+      }
+      cum += in_bucket;
+    }
+    // All observations below target (only reachable via races): the max
+    // representable bound.
+    return bucket_upper_bound(kBuckets - 1);
+  }
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -106,6 +137,42 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+// --- Value snapshots (round-trippable "metrics" report section) --------------
+//
+// core::parse_run_report reads the "metrics" section of a run report back
+// into these structs, and write_metrics_json re-emits them bitwise
+// identically to what MetricsRegistry::write_json produced — the registry
+// itself serializes via the same path (snapshot() + write_metrics_json),
+// so there is exactly one copy of the format.
+
+/// One histogram's exported state: count, sum, tail-latency percentile
+/// estimates (within-bucket linear interpolation) and the sparse log2
+/// buckets as (bucket index, count) pairs in ascending index order.
+struct HistogramSnapshot {
+  count_t count = 0;
+  double sum = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  std::vector<std::pair<int, count_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, count_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Serializes a snapshot exactly the way MetricsRegistry::write_json
+/// does: {"counters":{...},"gauges":{...},"histograms":{...}} with names
+/// in lexicographic (map) order, histograms carrying count/sum/p50/p95/
+/// p99 and sparse buckets keyed "le_<upper bound>".
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snap);
+
 class MetricsRegistry {
  public:
   /// Find-or-create by name. References stay valid for the registry's
@@ -114,8 +181,11 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}} with names in
-  /// lexicographic order; histogram buckets emitted sparsely.
+  /// Copies every instrument's current value into a plain-data snapshot
+  /// (the form the run report embeds and parse_run_report returns).
+  MetricsSnapshot snapshot() const;
+
+  /// write_metrics_json(os, snapshot()).
   void write_json(std::ostream& os) const;
   /// write_json to `path`; throws bwlab::Error if unwritable.
   void write_json_file(const std::string& path) const;

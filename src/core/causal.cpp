@@ -618,19 +618,36 @@ Table critical_path_table(const Report& r) {
   return t;
 }
 
-void write_json(std::ostream& os, const Report& r, int indent) {
+CausalSection summarize(const Report& r) {
+  CausalSection s;
+  s.present = true;
+  s.wall_s = r.wall_s;
+  s.nranks = r.nranks;
+  s.matched_messages = static_cast<long long>(r.messages.size());
+  s.unmatched_sends = r.unmatched_sends;
+  s.unmatched_recvs = r.unmatched_recvs;
+  s.wait_states = r.rank_waits;
+  s.matrix = r.matrix;
+  s.path_length_s = r.path.length_s;
+  s.path_buckets = r.path.bucket_s;
+  s.path_ranks = r.path.ranks;
+  s.path_segments = static_cast<long long>(r.path.segments.size());
+  return s;
+}
+
+void write_json(std::ostream& os, const CausalSection& r, int indent) {
   const std::string i0(static_cast<std::size_t>(indent), ' ');
   const std::string i1 = i0 + "  ";
   const std::string i2 = i1 + "  ";
   os << "{\n";
   os << i1 << "\"wall_seconds\": " << r.wall_s << ",\n";
   os << i1 << "\"nranks\": " << r.nranks << ",\n";
-  os << i1 << "\"matched_messages\": " << r.messages.size() << ",\n";
+  os << i1 << "\"matched_messages\": " << r.matched_messages << ",\n";
   os << i1 << "\"unmatched_sends\": " << r.unmatched_sends << ",\n";
   os << i1 << "\"unmatched_recvs\": " << r.unmatched_recvs << ",\n";
   os << i1 << "\"wait_states\": [";
   bool first = true;
-  for (const RankWaits& w : r.rank_waits) {
+  for (const RankWaits& w : r.wait_states) {
     os << (first ? "\n" : ",\n") << i2 << "{\"rank\": " << w.rank
        << ", \"late_sender_seconds\": " << w.late_sender_s
        << ", \"late_sender_count\": " << w.late_sender_n
@@ -653,23 +670,27 @@ void write_json(std::ostream& os, const Report& r, int indent) {
   }
   os << (first ? "]" : "\n" + i1 + "]") << ",\n";
   os << i1 << "\"critical_path\": {\n";
-  os << i2 << "\"length_seconds\": " << r.path.length_s << ",\n";
+  os << i2 << "\"length_seconds\": " << r.path_length_s << ",\n";
   os << i2 << "\"buckets\": {";
   first = true;
-  for (const auto& [bucket, s] : r.path.bucket_s) {
+  for (const auto& [bucket, s] : r.path_buckets) {
     os << (first ? "" : ", ") << "\"" << bucket << "\": " << s;
     first = false;
   }
   os << "},\n";
   os << i2 << "\"ranks\": [";
   first = true;
-  for (const int rank : r.path.ranks) {
+  for (const int rank : r.path_ranks) {
     os << (first ? "" : ", ") << rank;
     first = false;
   }
   os << "],\n";
-  os << i2 << "\"segments\": " << r.path.segments.size() << "\n";
+  os << i2 << "\"segments\": " << r.path_segments << "\n";
   os << i1 << "}\n" << i0 << "}";
+}
+
+void write_json(std::ostream& os, const Report& r, int indent) {
+  write_json(os, summarize(r), indent);
 }
 
 }  // namespace bwlab::core::causal

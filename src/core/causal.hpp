@@ -159,9 +159,35 @@ Table wait_state_table(const Report& r);
 Table comm_matrix_table(const Report& r);
 Table critical_path_table(const Report& r);
 
+/// Exactly what the "causal" run-report JSON section holds — the
+/// round-trippable subset of Report (matched messages are summarized as a
+/// count, path segments as a count; everything else is value-complete).
+/// core::parse_run_report reads this back, and writing a parsed section
+/// reproduces the original bytes. bwdiff aligns two of these.
+struct CausalSection {
+  bool present = false;  ///< section existed in the source report
+  double wall_s = 0;
+  int nranks = 0;
+  long long matched_messages = 0;
+  long long unmatched_sends = 0;
+  long long unmatched_recvs = 0;
+  std::vector<RankWaits> wait_states;  ///< rank ascending
+  std::vector<PairStats> matrix;       ///< (src, dest) ascending
+  double path_length_s = 0;
+  std::map<std::string, double> path_buckets;  ///< sums to path_length_s
+  std::vector<int> path_ranks;
+  long long path_segments = 0;
+};
+
+/// The serializable summary of a full analysis Report.
+CausalSection summarize(const Report& r);
+
 /// The "causal" JSON object (no surrounding key), embedded in the run
 /// report and emitted by tools/trace_analyze --json. `indent` is the
 /// base indentation in spaces.
+void write_json(std::ostream& os, const CausalSection& s, int indent = 2);
+
+/// write_json(os, summarize(r), indent).
 void write_json(std::ostream& os, const Report& r, int indent = 2);
 
 }  // namespace bwlab::core::causal

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace bwlab::core {
 
@@ -310,8 +311,9 @@ void write_json(std::ostream& os, const DatMoveReport& r, int indent) {
   first = true;
   for (const ChainMoveRecord& c : r.chains) {
     os << (first ? "\n" : ",\n") << in2
-       << "{\"working_set_bytes\": " << c.working_set_bytes
-       << ", \"counted_bytes\": " << c.counted_bytes
+       << "{\"working_set_bytes\": " << c.working_set_bytes;
+    first = false;
+    os << ", \"counted_bytes\": " << c.counted_bytes
        << ", \"tile_height\": " << c.tile_height
        << ", \"loops\": " << c.loops
        << ", \"tiled\": " << (c.tiled ? "true" : "false") << "}";
@@ -319,207 +321,32 @@ void write_json(std::ostream& os, const DatMoveReport& r, int indent) {
   os << (first ? "]" : "\n" + in + "]") << "\n" << i0 << "}";
 }
 
-// --- JSON in (minimal recursive-descent parser) -----------------------------
+// --- JSON in ----------------------------------------------------------------
 //
-// The repo has no general JSON reader (benchjson parses only its own
-// flat format), so the round-trip side carries its own ~100-line value
-// parser: enough JSON to read back what write_json and
-// core/report.cpp emit, with bwlab::Error on anything malformed.
+// The value parser lives in common/json.hpp (shared with the full
+// run-report reader in core/report.cpp); this side only maps the parsed
+// values back onto DatMoveReport.
 
-namespace {
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Num, Str, Arr, Obj };
-  Kind kind = Kind::Null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-  count_t as_count() const { return static_cast<count_t>(num); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::istream& is) {
-    std::ostringstream ss;
-    ss << is.rdbuf();
-    s_ = ss.str();
-  }
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    BWLAB_REQUIRE(pos_ == s_.size(), "trailing characters in JSON input");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
-      ++pos_;
-  }
-  char peek() {
-    skip_ws();
-    BWLAB_REQUIRE(pos_ < s_.size(), "unexpected end of JSON input");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    BWLAB_REQUIRE(peek() == c, "expected '" << c << "' at JSON offset "
-                                            << pos_);
-    ++pos_;
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::Str;
-      v.str = string();
-      return v;
-    }
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') {
-      literal("null");
-      return {};
-    }
-    return number();
-  }
-
-  void literal(const std::string& word) {
-    BWLAB_REQUIRE(s_.compare(pos_, word.size(), word) == 0,
-                  "bad JSON literal at offset " << pos_);
-    pos_ += word.size();
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Bool;
-    if (peek() == 't') {
-      literal("true");
-      v.b = true;
-    } else {
-      literal("false");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == 'i' ||
-            s_[pos_] == 'n' || s_[pos_] == 'f' || s_[pos_] == 'a'))
-      ++pos_;  // accepts inf/nan spellings some writers emit
-    BWLAB_REQUIRE(pos_ > start, "bad JSON number at offset " << start);
-    JsonValue v;
-    v.kind = JsonValue::Kind::Num;
-    v.num = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      BWLAB_REQUIRE(pos_ < s_.size(), "unterminated JSON string");
-      const char c = s_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        BWLAB_REQUIRE(pos_ < s_.size(), "unterminated JSON escape");
-        out.push_back(s_[pos_++]);
-      } else {
-        out.push_back(c);
-      }
-    }
-    return out;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Arr;
-    if (consume(']')) return v;
-    while (true) {
-      v.arr.push_back(value());
-      if (consume(']')) return v;
-      expect(',');
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Obj;
-    if (consume('}')) return v;
-    while (true) {
-      std::string key = string();
-      expect(':');
-      v.obj.emplace_back(std::move(key), value());
-      if (consume('}')) return v;
-      expect(',');
-    }
-  }
-
-  std::string s_;
-  std::size_t pos_ = 0;
-};
-
-count_t count_field(const JsonValue& o, const std::string& key) {
-  const JsonValue* v = o.find(key);
-  return v != nullptr ? v->as_count() : 0;
-}
-
-double num_field(const JsonValue& o, const std::string& key) {
-  const JsonValue* v = o.find(key);
-  return v != nullptr ? v->num : 0;
-}
-
-std::string str_field(const JsonValue& o, const std::string& key) {
-  const JsonValue* v = o.find(key);
-  return v != nullptr ? v->str : std::string();
-}
-
-}  // namespace
-
-DatMoveReport parse_datmove_json(std::istream& is) {
-  JsonParser parser(is);
-  JsonValue root = parser.parse();
-  BWLAB_REQUIRE(root.kind == JsonValue::Kind::Obj,
+DatMoveReport datmove_from_json(const json::Value& dm) {
+  using json::count_field;
+  using json::num_field;
+  using json::str_field;
+  const json::Value* root = &dm;
+  BWLAB_REQUIRE(root->kind == json::Value::Kind::Obj,
                 "datmove JSON must be an object");
-  const JsonValue* dm = root.find("datmove");
-  if (dm == nullptr) dm = &root;  // bare "datmove" object
-  BWLAB_REQUIRE(dm->find("records") != nullptr,
+  BWLAB_REQUIRE(root->find("records") != nullptr,
                 "input has no datmove section");
 
   DatMoveReport r;
-  r.placement_policy = str_field(*dm, "placement_policy");
-  r.machine_id = str_field(*dm, "machine");
-  r.total_bytes = count_field(*dm, "total_bytes");
-  r.working_set_bytes = count_field(*dm, "working_set_bytes");
-  r.halo_bytes_sent = count_field(*dm, "halo_bytes_sent");
-  r.halo_bytes_received = count_field(*dm, "halo_bytes_received");
+  r.placement_policy = str_field(dm, "placement_policy");
+  r.machine_id = str_field(dm, "machine");
+  r.total_bytes = count_field(dm, "total_bytes");
+  r.working_set_bytes = count_field(dm, "working_set_bytes");
+  r.halo_bytes_sent = count_field(dm, "halo_bytes_sent");
+  r.halo_bytes_received = count_field(dm, "halo_bytes_received");
 
-  if (const JsonValue* a = dm->find("records"))
-    for (const JsonValue& e : a->arr) {
+  if (const json::Value* a = dm.find("records"))
+    for (const json::Value& e : a->arr) {
       DatMoveRecord d;
       d.loop = str_field(e, "loop");
       d.dat = str_field(e, "dat");
@@ -528,8 +355,8 @@ DatMoveReport parse_datmove_json(std::istream& is) {
       d.bytes_written = count_field(e, "bytes_written");
       r.records.push_back(std::move(d));
     }
-  if (const JsonValue* a = dm->find("loops"))
-    for (const JsonValue& e : a->arr) {
+  if (const json::Value* a = dm.find("loops"))
+    for (const json::Value& e : a->arr) {
       DatMoveLoopSummary s;
       s.loop = str_field(e, "loop");
       s.counted_bytes = count_field(e, "counted_bytes");
@@ -537,8 +364,8 @@ DatMoveReport parse_datmove_json(std::istream& is) {
       s.drift = num_field(e, "drift");
       r.loops.push_back(std::move(s));
     }
-  if (const JsonValue* a = dm->find("dats"))
-    for (const JsonValue& e : a->arr) {
+  if (const json::Value* a = dm.find("dats"))
+    for (const json::Value& e : a->arr) {
       DatMovePlacement p;
       p.dat = str_field(e, "dat");
       p.alloc_bytes = count_field(e, "alloc_bytes");
@@ -546,24 +373,24 @@ DatMoveReport parse_datmove_json(std::istream& is) {
       p.tier = str_field(e, "tier");
       r.dats.push_back(std::move(p));
     }
-  if (const JsonValue* o = dm->find("reuse")) {
+  if (const json::Value* o = dm.find("reuse")) {
     r.reuse.cold_bytes = count_field(*o, "cold_bytes");
-    if (const JsonValue* a = o->find("buckets"))
-      for (const JsonValue& e : a->arr) {
+    if (const json::Value* a = o->find("buckets"))
+      for (const json::Value& e : a->arr) {
         const auto i = static_cast<std::size_t>(num_field(e, "bucket"));
         if (i < r.reuse.moved_bytes.size())
           r.reuse.moved_bytes[i] = count_field(e, "moved_bytes");
       }
   }
-  if (const JsonValue* a = dm->find("occupancy"))
-    for (const JsonValue& e : a->arr) {
+  if (const json::Value* a = dm.find("occupancy"))
+    for (const json::Value& e : a->arr) {
       OccupancyPoint p;
       p.capacity_bytes = num_field(e, "capacity_bytes");
       p.served_fraction = num_field(e, "served_fraction");
       r.occupancy.push_back(p);
     }
-  if (const JsonValue* a = dm->find("tiers"))
-    for (const JsonValue& e : a->arr) {
+  if (const json::Value* a = dm.find("tiers"))
+    for (const json::Value& e : a->arr) {
       TierTraffic tt;
       tt.name = str_field(e, "name");
       tt.capacity_bytes = num_field(e, "capacity_bytes");
@@ -573,18 +400,28 @@ DatMoveReport parse_datmove_json(std::istream& is) {
       tt.seconds_at_bw = num_field(e, "seconds_at_bw");
       r.tiers.push_back(std::move(tt));
     }
-  if (const JsonValue* a = dm->find("chains"))
-    for (const JsonValue& e : a->arr) {
+  if (const json::Value* a = dm.find("chains"))
+    for (const json::Value& e : a->arr) {
       ChainMoveRecord c;
       c.working_set_bytes = count_field(e, "working_set_bytes");
       c.counted_bytes = count_field(e, "counted_bytes");
       c.tile_height = static_cast<idx_t>(num_field(e, "tile_height"));
       c.loops = static_cast<int>(num_field(e, "loops"));
-      const JsonValue* t = e.find("tiled");
+      const json::Value* t = e.find("tiled");
       c.tiled = t != nullptr && t->b;
       r.chains.push_back(c);
     }
   return r;
+}
+
+
+DatMoveReport parse_datmove_json(std::istream& is) {
+  const json::Value root = json::parse(is);
+  BWLAB_REQUIRE(root.kind == json::Value::Kind::Obj,
+                "datmove JSON must be an object");
+  const json::Value* dm = root.find("datmove");
+  if (dm == nullptr) dm = &root;  // bare "datmove" object
+  return datmove_from_json(*dm);
 }
 
 }  // namespace bwlab::core

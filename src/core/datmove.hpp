@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/instrument.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "sim/machine.hpp"
 
@@ -111,5 +112,11 @@ void write_json(std::ostream& os, const DatMoveReport& r, int indent = 2);
 /// bwlab::Error on malformed input or when a run report has no "datmove"
 /// section.
 DatMoveReport parse_datmove_json(std::istream& is);
+
+/// Maps an already-parsed "datmove" JSON object (common/json.hpp value)
+/// back onto a DatMoveReport. core::parse_run_report reuses this for the
+/// report's "datmove" section. Throws bwlab::Error when the value is not
+/// an object or lacks a "records" member.
+DatMoveReport datmove_from_json(const json::Value& dm);
 
 }  // namespace bwlab::core

@@ -4,17 +4,19 @@
 // (top-N loops, Figure 8 effective-bandwidth table, JSON export).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-
-namespace bwlab {
-class MetricsRegistry;
-}
+#include "common/trace.hpp"
+#include "core/attribution.hpp"
+#include "core/causal.hpp"
+#include "core/datmove.hpp"
 
 namespace bwlab::core {
 
@@ -47,22 +49,138 @@ Table top_loops_table(const Instrumentation& instr, std::size_t top_n = 10);
 /// kernel host seconds, comm excluded), in first-execution order.
 Table effective_bw_table(const Instrumentation& instr);
 
-struct AttributionReport;
-struct DatMoveReport;
+// --- Run report as a value (bwdiff input) ------------------------------------
+//
+// Everything the run-report JSON holds, as plain data: write_run_report_json
+// on a RunReport reproduces the bytes parse_run_report read (round-trip is
+// bitwise — every section serializes stored values, never re-derived ones),
+// and make_run_report snapshots the live process state (instrumentation,
+// metrics registry, resilience counters, tracer drop counts) into the same
+// struct so the live and offline paths share one writer.
 
-namespace causal {
-struct Report;
-}
+/// Who/what/how of the run, stamped into the report when the caller
+/// provides it (run_app does). Deliberately timestamp-free so reports are
+/// byte-comparable across identical runs.
+struct RunProvenance {
+  bool present = false;   ///< section existed / should be written
+  std::string git_sha;    ///< benchjson::git_sha(): $BWBENCH_GIT_SHA or build
+  std::string machine;    ///< machine model or host identifier
+  std::string cmdline;    ///< full CLI line that produced the run
+  std::uint64_t seed = 0;
+};
 
-/// Machine-readable run report: every loop record, every exchange record,
-/// total loop seconds, a "tiling" section when the run executed tiled
-/// chains (tile count, height, auto-tuner inputs), and (if given) a
-/// snapshot of `metrics`, the
-/// per-loop roofline attribution (core/attribution.hpp), the bwcausal
-/// wait-state / critical-path analysis (core/causal.hpp) and the bwmem
-/// "datmove" data-movement section (core/datmove.hpp). When the tracer
-/// recorded events, a "trace" section reports total and per-thread
-/// dropped-event counts so truncated timelines are visible post-run.
+/// One "loops" entry. effective_bw_gbs is stored, not re-derived from
+/// bytes/host_seconds, so reprinting a parsed report is exact.
+struct ReportLoop {
+  std::string name;
+  count_t calls = 0;
+  count_t points = 0;
+  count_t bytes = 0;
+  double flops = 0;
+  seconds_t host_seconds = 0;
+  double effective_bw_gbs = 0;
+  std::string pattern;
+  int max_radius = 0;
+  int ndims = 2;
+};
+
+/// One "exchanges" entry (halo traffic of one Dat).
+struct ReportExchange {
+  std::string dat;
+  count_t exchanges = 0;
+  count_t messages = 0;
+  count_t bytes = 0;
+  count_t bytes_received = 0;
+  int halo_depth = 0;
+  count_t elem_bytes = 0;
+};
+
+/// The "tiling" section (written only when the run executed tiled chains).
+struct TilingSection {
+  bool present = false;
+  count_t chains = 0;
+  count_t tiles = 0;
+  idx_t tile_height = 0;
+  bool auto_tuned = false;
+  double row_bytes = 0;
+  double cache_budget_bytes = 0;
+};
+
+/// The "resil" section (written only when the resilience policy was
+/// active): policy knobs plus recovery counters.
+struct ResilSection {
+  bool present = false;
+  int retry_max = 0;
+  long long timeout_us = 0;
+  long long backoff_us = 0;
+  long long backoff_cap_us = 0;
+  bool degraded = false;
+  std::uint64_t seed = 0;
+  long long retries = 0;
+  long long recovered = 0;
+  long long degraded_events = 0;
+  long long backoff_waits = 0;
+  long long rollbacks = 0;
+  long long buddy_restores = 0;
+  count_t buddy_bytes = 0;
+};
+
+/// The "trace" health section (written only when the tracer had events):
+/// dropped-event totals per thread, so truncated timelines are visible.
+struct TraceSection {
+  bool present = false;
+  std::uint64_t dropped_events = 0;
+  std::vector<trace::ThreadDrops> threads;
+};
+
+struct RunReport {
+  RunProvenance provenance;
+  std::vector<ReportLoop> loops;
+  std::vector<ReportExchange> exchanges;
+  seconds_t total_loop_seconds = 0;
+  TilingSection tiling;
+  bool has_attribution = false;
+  AttributionReport attribution;
+  bool has_metrics = false;
+  MetricsSnapshot metrics;
+  causal::CausalSection causal;  ///< .present gates the section
+  bool has_datmove = false;
+  DatMoveReport datmove;
+  ResilSection resil;
+  TraceSection trace_health;
+};
+
+/// Snapshots the live run state into a RunReport: instrumentation records,
+/// the optional metrics registry / attribution / causal / datmove sections,
+/// plus the process-wide resil counters (when resil::active()) and tracer
+/// drop counts (when any events were recorded) — exactly what the legacy
+/// write_run_report_json(instr, ...) serialized.
+RunReport make_run_report(const Instrumentation& instr,
+                          const MetricsRegistry* metrics = nullptr,
+                          const AttributionReport* attr = nullptr,
+                          const causal::Report* causal_rep = nullptr,
+                          const DatMoveReport* datmove = nullptr,
+                          const RunProvenance* provenance = nullptr);
+
+/// Serializes `r` as the run-report JSON. Absent sections (present/has_*
+/// false) are omitted entirely, so a report without them is byte-identical
+/// to the pre-RunReport format.
+void write_run_report_json(std::ostream& os, const RunReport& r);
+
+/// write_run_report_json to `path`; throws bwlab::Error if unwritable.
+void write_run_report_json_file(const std::string& path, const RunReport& r);
+
+/// Parses a run report previously written by write_run_report_json back
+/// into a RunReport — ALL sections (provenance, loops, exchanges, tiling,
+/// attribution, metrics, causal, datmove, resil, trace). Writing the
+/// result reproduces the input bitwise. Throws bwlab::Error on malformed
+/// input.
+RunReport parse_run_report(std::istream& is);
+
+/// parse_run_report from `path`; throws bwlab::Error if unreadable.
+RunReport read_run_report(const std::string& path);
+
+/// Legacy convenience: write_run_report_json(os, make_run_report(...)).
 void write_run_report_json(std::ostream& os, const Instrumentation& instr,
                            const MetricsRegistry* metrics = nullptr,
                            const AttributionReport* attr = nullptr,

@@ -318,5 +318,32 @@ TEST(DatMove, JsonRoundTripsBareAndInsideRunReport) {
   EXPECT_THROW(core::parse_datmove_json(pis), Error);
 }
 
+// Multiple chain records must be comma-separated in the JSON output
+// (regression: the writer once dropped the separator after the first
+// chain, producing unparseable reports for any tiled multi-chain run).
+TEST(DatMove, MultiChainJsonStaysParseable) {
+  core::DatMoveReport rep;
+  for (int i = 0; i < 3; ++i) {
+    ChainMoveRecord c;
+    c.working_set_bytes = 1000u * static_cast<count_t>(i + 1);
+    c.counted_bytes = 1100u * static_cast<count_t>(i + 1);
+    c.tile_height = 8 + i;
+    c.loops = 4;
+    c.tiled = (i != 1);
+    rep.chains.push_back(c);
+  }
+  std::ostringstream os;
+  core::write_json(os, rep, 0);
+  std::istringstream is(os.str());
+  const core::DatMoveReport back = core::parse_datmove_json(is);
+  ASSERT_EQ(back.chains.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.chains[i].working_set_bytes, rep.chains[i].working_set_bytes);
+    EXPECT_EQ(back.chains[i].counted_bytes, rep.chains[i].counted_bytes);
+    EXPECT_EQ(back.chains[i].tile_height, rep.chains[i].tile_height);
+    EXPECT_EQ(back.chains[i].tiled, rep.chains[i].tiled);
+  }
+}
+
 }  // namespace
 }  // namespace bwlab::ops
