@@ -1,0 +1,147 @@
+// Microbenchmark of the bwlive hot paths. The contract that makes it safe
+// to compile the telemetry hooks into the step loop (live::on_step) and
+// the par_loop byte accounting (live::on_loop_bytes) is that with the
+// sampler OFF each hook costs a single relaxed atomic load plus a branch —
+// the same budget bwtrace/bwfault/bwmem/bwresil hold. With the sampler ON,
+// the cost model is one snapshot per interval off the ranks' threads, so
+// the *modeled* overhead at the default interval must stay well under 1%
+// of wall time. This binary FAILS (non-zero exit) if
+//   * the disabled on_step hook exceeds its 5 ns budget,
+//   * per-sample cost x samples/s at the default 250 ms interval models
+//     to more than 1% of a second of wall time, or
+//   * a live session at the default interval slows a small clover2d run
+//     by more than 25% + scheduling-noise floor against the same run with
+//     the sampler off (the accidental-locking trip wire).
+// It also records the sampled schema's built-in key count for a canonical
+// 2-rank session — a deterministic metric the CI baseline gates, so the
+// exported schema cannot drift silently.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/cloverleaf/cloverleaf2d.hpp"
+#include "bench/bench_common.hpp"
+#include "common/live.hpp"
+#include "par/simmpi.hpp"
+#include "par/thread_pool.hpp"
+
+using namespace bwlab;
+
+namespace {
+
+/// One small clover2d pass (2 ranks, enough iterations to execute real
+/// halo exchanges and par_loops with the hooks in the loop bodies).
+void clover_pass() {
+  apps::Options opt;
+  opt.n = 48;
+  opt.iterations = 10;
+  opt.ranks = 2;
+  opt.threads = 1;
+  (void)apps::clover2d::run(opt);
+}
+
+live::Config quiet_config() {
+  live::Config cfg;
+  // Interval far beyond the bench runtime: the sampler thread exists but
+  // never fires on its own; samples are driven explicitly.
+  cfg.interval_ms = 1LL << 40;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  bench::Runner run(cli, "gb_live_overhead");
+
+  constexpr std::uint64_t kIters = 20'000'000;
+  constexpr double kHookBudgetNs = 5.0;
+  constexpr long long kDefaultIntervalMs = 250;
+  constexpr double kEnabledWallBudget = 0.01;  // <= 1% modeled overhead
+  constexpr double kLiveRegressionBudget = 1.25;
+
+  // (a) The disabled fast path: exactly what resilient_loop evaluates per
+  // time step while no --live-* flag armed the sampler.
+  const double hook_ns = run.time_ns_per_iter("hook.on_step", kIters, [] {
+    live::on_step(0);
+  });
+
+  // (b) Per-sample cost with a live session (registry snapshot + provider
+  // sweep + ring push), sampled synchronously so the number excludes
+  // thread wakeup noise. Modeled overhead = cost x samples/s at the
+  // default interval.
+  live::start(quiet_config());
+  const double sample_ns =
+      run.time_ns_per_iter("sample.ns", 20'000, [] { live::sample_now(); });
+  live::stop();
+  const double modeled_overhead =
+      sample_ns * (1000.0 / static_cast<double>(kDefaultIntervalMs)) / 1e9;
+  run.record_value("sample.modeled_overhead", "frac",
+                   benchjson::Better::Lower, modeled_overhead);
+
+  // (c) End-to-end trip wire: the same clover2d run with the sampler off
+  // and on at the default interval. Scheduling noise dominates runs this
+  // small, so the bound is generous — it catches accidental locking on
+  // the rank threads, not microseconds.
+  const double off_s = run.time_seconds("clover2d.live_off", clover_pass);
+  live::Config cfg;
+  cfg.interval_ms = kDefaultIntervalMs;
+  live::start(cfg);
+  const double on_s = run.time_seconds("clover2d.live_on", clover_pass);
+  live::stop();
+
+  // (d) Deterministic schema gate: the built-in key count of a canonical
+  // 2-rank session (pool census + world census + comm counters + derived
+  // live gauges). Changing the exported schema moves this number and
+  // trips the CI baseline — version the schema instead of drifting it.
+  live::start(quiet_config());
+  {
+    par::ThreadPool pool(2);
+    pool.run([](int) {});
+    par::run_ranks(2, [](par::Comm& c) {
+      double x = 1.0;
+      const int peer = 1 - c.rank();
+      c.send(peer, 7, &x, sizeof x);
+      c.recv(peer, 7, &x, sizeof x);
+    });
+  }
+  live::stop();
+  const std::size_t schema_keys = live::series().keys.size();
+  run.record_value("schema.builtin_keys", "keys", benchjson::Better::Higher,
+                   static_cast<double>(schema_keys));
+
+  std::printf("live on_step hook, sampler off: %.3f ns (budget %.1f ns)\n",
+              hook_ns, kHookBudgetNs);
+  std::printf("per-sample cost: %.0f ns -> modeled %.4f%% wall at %lld ms "
+              "interval (budget %.0f%%)\n",
+              sample_ns, modeled_overhead * 100.0, kDefaultIntervalMs,
+              kEnabledWallBudget * 100.0);
+  std::printf("clover2d: %.4f s sampler off, %.4f s sampler on "
+              "(budget %.0f%%)\n",
+              off_s, on_s, (kLiveRegressionBudget - 1.0) * 100.0);
+  std::printf("canonical 2-rank schema: %zu built-in keys\n", schema_keys);
+  run.finish();
+
+  bool ok = true;
+  if (hook_ns >= kHookBudgetNs) {
+    std::fprintf(stderr, "FAIL: disabled live hook over %.1f ns budget\n",
+                 kHookBudgetNs);
+    ok = false;
+  }
+  if (modeled_overhead > kEnabledWallBudget) {
+    std::fprintf(stderr,
+                 "FAIL: modeled live-sampling overhead %.3f%% over the "
+                 "1%% wall budget\n",
+                 modeled_overhead * 100.0);
+    ok = false;
+  }
+  if (on_s > off_s * kLiveRegressionBudget + 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: live sampling slowed clover2d %.4f -> %.4f s\n",
+                 off_s, on_s);
+    ok = false;
+  }
+  if (!ok) return EXIT_FAILURE;
+  std::printf("PASS\n");
+  return 0;
+}

@@ -96,12 +96,24 @@ target_link_libraries(gb_resil_overhead
 set_target_properties(gb_resil_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# bwlive hot-path guard: the live::enabled() guards compiled into the
+# app step loops and par_loop byte accounting must stay one relaxed load
+# + branch while the sampler is off, and one snapshot per interval must
+# model to well under 1% of wall time when it is on.
+add_executable(gb_live_overhead ${CMAKE_SOURCE_DIR}/bench/gb_live_overhead.cpp)
+target_include_directories(gb_live_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_live_overhead
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
+set_target_properties(gb_live_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # The self-checking budget benches double as ctest entries under the
 # "bench" label (`ctest -L bench`), so the perf trip wires run with the
 # suite instead of needing a separate CI step.
 if(BWLAB_BUILD_TESTS)
   foreach(b gb_trace_overhead gb_fault_overhead gb_causal_overhead
-            gb_datmove_overhead gb_resil_overhead)
+            gb_datmove_overhead gb_resil_overhead gb_live_overhead)
     add_test(NAME ${b} COMMAND ${b})
     set_tests_properties(${b} PROPERTIES TIMEOUT 120 LABELS bench)
   endforeach()

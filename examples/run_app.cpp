@@ -58,6 +58,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/live.hpp"
 #include "common/metrics.hpp"
 #include "common/resil.hpp"
 #include "common/table.hpp"
@@ -67,6 +68,7 @@
 #include "core/config.hpp"
 #include "core/datmove.hpp"
 #include "core/diff.hpp"
+#include "core/livemon.hpp"
 #include "core/report.hpp"
 #include "core/tuning.hpp"
 
@@ -152,7 +154,10 @@ int main(int argc, char** argv) {
               << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
               << "  --max-restarts=R --nan-guard=0|1|2\n"
-              << "  --resil --retry-max=N --backoff-us=U --degraded\n";
+              << "  --resil --retry-max=N --backoff-us=U --degraded\n"
+              << "  --live --live-interval-ms=M --live-status "
+                 "--live-listen=PORT|unix:PATH\n"
+              << "  --live-out=FILE --live-ring=N --live-stall-windows=W\n";
     return 0;
   }
   const std::string app = canonical_app(
@@ -200,10 +205,55 @@ int main(int argc, char** argv) {
   const bool datmove_on = cli.get_bool("datmove", false);
   if (datmove_on) core::DataMoveProfiler::enable();
 
+  // bwlive: opt-in per-run sampling — any --live-* flag arms it. Started
+  // before dispatch so every run_ranks world registers its per-rank
+  // census, and stopped on both the success and the failure path (the
+  // series up to a watchdog abort is exactly what one wants to look at).
+  const bool live_on = cli.has("live") || cli.has("live-interval-ms") ||
+                       cli.has("live-status") || cli.has("live-listen") ||
+                       cli.has("live-out") || cli.has("live-ring") ||
+                       cli.has("live-stall-windows");
+  live::Config live_cfg;
+  std::string live_out;
+  if (live_on) {
+    live_cfg.interval_ms = cli.get_int("live-interval-ms", 250);
+    live_cfg.ring_capacity =
+        static_cast<std::size_t>(cli.get_int("live-ring", 4096));
+    live_cfg.stall_windows =
+        static_cast<int>(cli.get_int("live-stall-windows", 4));
+    live_cfg.status_line = cli.get_bool("live-status", false);
+    live_cfg.roof_bytes_per_s = core::live_roof_bytes_per_s(machine);
+    const std::string listen = cli.get("live-listen", "");
+    if (!listen.empty()) {
+      if (listen.rfind("unix:", 0) == 0)
+        live_cfg.listen_unix = listen.substr(5);
+      else
+        live_cfg.listen_port = static_cast<int>(std::stoll(listen));
+    }
+    live_out = cli.get("live-out", "TIMESERIES_" + app + ".json");
+    live::start(live_cfg);
+    // Flushed immediately: a scraper needs the (possibly ephemeral) port
+    // while the run is still in flight, even with stdout redirected.
+    if (live::bound_port() >= 0)
+      std::cout << "live metrics endpoint on http://127.0.0.1:"
+                << live::bound_port() << "/metrics" << std::endl;
+  }
+  const auto finish_live = [&]() {
+    live::TimeSeries ts;
+    if (!live_on) return ts;
+    live::stop();
+    ts = live::series();
+    live::write_timeseries_file(live_out, ts, app, benchjson::git_sha());
+    std::cerr << "timeseries (" << ts.size() << " samples) written to "
+              << live_out << "\n";
+    return ts;
+  };
+
   apps::Result result;
   try {
     result = dispatch(app, opt);
   } catch (const Error& e) {
+    finish_live();
     // A diagnosed failure (watchdog deadlock dump, aggregated rank
     // errors, NaN-guard abort). Flush the trace first — the timeline up
     // to the failure is exactly what one wants to look at.
@@ -215,6 +265,8 @@ int main(int argc, char** argv) {
     std::cerr << "run failed: " << e.what() << "\n";
     return 1;
   }
+
+  const live::TimeSeries live_ts = finish_live();
 
   trace::disable();  // all rank/worker threads have joined inside run()
   if (!obs.trace_path.empty()) {
@@ -259,7 +311,8 @@ int main(int argc, char** argv) {
   prov.seed = opt.seed;
   const core::RunReport report = core::make_run_report(
       result.instr, &MetricsRegistry::global(), &attr,
-      obs.causal ? &causal_rep : nullptr, datmove_on ? &dm : nullptr, &prov);
+      obs.causal ? &causal_rep : nullptr, datmove_on ? &dm : nullptr, &prov,
+      live_on ? &live_ts : nullptr);
   if (!obs.report_path.empty()) {
     core::write_run_report_json_file(obs.report_path, report);
     std::cout << "report written to " << obs.report_path << "\n";
@@ -276,6 +329,14 @@ int main(int argc, char** argv) {
     std::cout << "  rank " << r << ": blocked " << st.comm_seconds << " s, "
               << st.messages_sent << " msgs, " << st.payload_bytes_sent
               << " payload bytes\n";
+  }
+  if (live_on && !live_ts.empty()) {
+    std::cout << "live: " << live_ts.size() << " samples @ "
+              << live_ts.interval_ms << " ms, last window "
+              << core::live_rate_line(live_ts) << "\n"
+              << core::live_rank_table(
+                     live_ts,
+                     static_cast<std::size_t>(live_cfg.stall_windows));
   }
   if (!rob.faults.empty()) {
     const std::vector<fault::Event> events = fault::events();

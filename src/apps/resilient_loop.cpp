@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/live.hpp"
 #include "common/metrics.hpp"
 #include "common/resil.hpp"
 #include "common/trace.hpp"
@@ -57,6 +58,7 @@ std::vector<long long> run_resilient_loop(const ResilientLoop& lp) {
     // Plain protocol: crashes propagate to the app's supervisor.
     for (long long it = lp.start; it < lp.iterations; ++it) {
       fault::on_step(lp.rank, it);
+      live::on_step(lp.rank);
       lp.step(it);
       executed.push_back(it);
       if (checkpoint_due(lp, it)) lp.capture(it);
@@ -71,6 +73,7 @@ std::vector<long long> run_resilient_loop(const ResilientLoop& lp) {
     int my_failure = -1;
     try {
       fault::on_step(lp.rank, it);
+      live::on_step(lp.rank);
     } catch (const par::RankFailure&) {
       my_failure = lp.rank;
     }

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/gate.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
@@ -27,7 +28,7 @@ struct ActivePlan {
 
 std::mutex g_mu;
 ActivePlan* g_plan = nullptr;          // guarded by g_mu
-std::atomic<bool> g_active{false};     // hot-path guard
+Gate g_active;                         // hot-path guard (common/gate.hpp)
 std::atomic<int> g_nan_policy{0};      // NanPolicy
 
 long long parse_ll(const std::string& clause, const std::string& value) {
@@ -149,7 +150,7 @@ void install(const FaultPlan& plan) {
   std::lock_guard<std::mutex> lock(g_mu);
   delete g_plan;
   g_plan = nullptr;
-  g_active.store(false, std::memory_order_release);
+  g_active.disable();
   if (plan.empty()) return;
   auto* ap = new ActivePlan;
   ap->plan = plan;
@@ -162,12 +163,12 @@ void install(const FaultPlan& plan) {
     ap->flip_masks[i] = (rng.next_u64() & 0xFF) | 1;  // nonzero byte mask
   }
   g_plan = ap;
-  g_active.store(true, std::memory_order_release);
+  g_active.enable();
 }
 
 void clear() { install(FaultPlan()); }
 
-bool active() { return g_active.load(std::memory_order_relaxed); }
+bool active() { return g_active.enabled(); }
 
 MsgAction on_send(int rank, int dest, int tag, void* payload,
                   std::size_t bytes) {

@@ -9,10 +9,12 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/gate.hpp"
 #include "common/metrics.hpp"
 #include "common/pattern.hpp"
 #include "common/trace.hpp"
@@ -29,15 +31,29 @@ namespace bwlab {
 // bench/gb_datmove_overhead). The analysis side lives in core/datmove.
 namespace datmove {
 namespace detail {
-inline std::atomic<bool> g_on{false};
+inline Gate g_on;
+// Process-wide cumulative counted bytes, summed across every rank's
+// Instrumentation. The per-rank records are deliberately unsynchronized
+// (rank-thread-local), so this relaxed mirror is what the bwlive sampler
+// reads mid-run without touching them.
+inline std::atomic<std::uint64_t> g_cum_bytes{0};
 }  // namespace detail
 
 /// Single-branch fast path checked by every counting site.
-inline bool enabled() {
-  return detail::g_on.load(std::memory_order_relaxed);
+inline bool enabled() { return detail::g_on.enabled(); }
+/// Arms counting and restarts the cumulative-bytes mirror, so the mirror
+/// always reads "bytes counted since the current session was armed".
+inline void enable() {
+  detail::g_cum_bytes.store(0, std::memory_order_relaxed);
+  detail::g_on.enable();
 }
-inline void enable() { detail::g_on.store(true, std::memory_order_relaxed); }
-inline void disable() { detail::g_on.store(false, std::memory_order_relaxed); }
+inline void disable() { detail::g_on.disable(); }
+
+/// Cumulative counted bytes of the current session, across all ranks.
+/// Lock-free; safe to read from the bwlive sampler while ranks count.
+inline std::uint64_t cum_bytes() {
+  return detail::g_cum_bytes.load(std::memory_order_relaxed);
+}
 }  // namespace datmove
 
 /// Accumulated statistics of one named par_loop.
@@ -216,6 +232,9 @@ class Instrumentation {
     r.bytes_read += read_bytes;
     r.bytes_written += written_bytes;
     datmove_total_ += read_bytes + written_bytes;
+    datmove::detail::g_cum_bytes.fetch_add(
+        static_cast<std::uint64_t>(read_bytes + written_bytes),
+        std::memory_order_relaxed);
   }
 
   /// Registers a dat's allocation footprint and adds moved bytes.

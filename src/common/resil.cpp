@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/gate.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/snapshot.hpp"
@@ -15,7 +16,7 @@ namespace {
 
 std::mutex g_mu;
 Policy g_policy;                    // guarded by g_mu
-std::atomic<bool> g_active{false};  // hot-path guard
+Gate g_active;  // hot-path guard (common/gate.hpp)
 
 // Counters are plain atomics: bumped from rank threads mid-recovery,
 // read post-join by reports and the campaign driver.
@@ -37,7 +38,7 @@ std::vector<long long> g_board_step;
 void install(const Policy& policy) {
   std::lock_guard<std::mutex> lock(g_mu);
   g_policy = policy;
-  g_active.store(policy.enabled, std::memory_order_release);
+  g_active.set(policy.enabled);
   g_retries.store(0, std::memory_order_relaxed);
   g_recovered.store(0, std::memory_order_relaxed);
   g_degraded.store(0, std::memory_order_relaxed);
@@ -48,7 +49,7 @@ void install(const Policy& policy) {
 
 void clear() { install(Policy{}); }
 
-bool active() { return g_active.load(std::memory_order_relaxed); }
+bool active() { return g_active.enabled(); }
 
 Policy policy() {
   std::lock_guard<std::mutex> lock(g_mu);

@@ -60,6 +60,10 @@ thread_local ThreadBuffer* tls_buf = nullptr;
 thread_local int tls_rank = 0;
 thread_local int tls_tid = 0;
 
+/// Relaxed mirror of the per-buffer drop counts, readable mid-run
+/// without the registry mutex (dropped_events_now).
+std::atomic<std::uint64_t> g_dropped_total{0};
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -95,6 +99,7 @@ void push(Event e, std::string_view a, std::string_view b) {
   ThreadBuffer& tb = buf();
   if (tb.events.size() >= reg().capacity.load(std::memory_order_relaxed)) {
     ++tb.dropped;
+    g_dropped_total.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   copy_name(e, a, b);
@@ -236,10 +241,10 @@ void enable(std::size_t max_events_per_thread) {
                    std::memory_order_relaxed);
   std::uint64_t expected = 0;
   r.epoch_ns.compare_exchange_strong(expected, now_ns());
-  detail::g_on.store(true, std::memory_order_relaxed);
+  detail::g_on.enable();
 }
 
-void disable() { detail::g_on.store(false, std::memory_order_relaxed); }
+void disable() { detail::g_on.disable(); }
 
 void reset() {
   Registry& r = reg();
@@ -248,6 +253,7 @@ void reset() {
     b->events.clear();
     b->dropped = 0;
   }
+  g_dropped_total.store(0, std::memory_order_relaxed);
   r.epoch_ns.store(now_ns(), std::memory_order_relaxed);
 }
 
@@ -270,6 +276,10 @@ int current_rank() { return tls_rank; }
 void counter(std::string_view name, double value) {
   if (!enabled()) return;
   push(Ph::Counter, Cat::App, name, {}, value);
+}
+
+std::uint64_t dropped_events_now() {
+  return g_dropped_total.load(std::memory_order_relaxed);
 }
 
 std::uint64_t dropped_events() {

@@ -39,6 +39,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/gate.hpp"
+
 namespace bwlab::trace {
 
 /// Span/counter category, serialized as the Chrome "cat" field.
@@ -67,7 +69,7 @@ struct CommArgs {
 };
 
 namespace detail {
-inline std::atomic<bool> g_on{false};
+inline Gate g_on;
 void begin_span(Cat c, std::string_view name, std::string_view suffix);
 void begin_span_args(Cat c, std::string_view name, std::string_view suffix,
                      const CommArgs& args);
@@ -76,9 +78,7 @@ void flow_event(bool start, std::uint64_t id);
 }  // namespace detail
 
 /// Single-branch fast path checked by every instrumentation site.
-inline bool enabled() {
-  return detail::g_on.load(std::memory_order_relaxed);
-}
+inline bool enabled() { return detail::g_on.enabled(); }
 
 /// Starts recording. `max_events_per_thread` bounds each thread's buffer;
 /// events past the cap are dropped (newest-first) and counted.
@@ -106,6 +106,13 @@ void counter(std::string_view name, double value);
 
 /// Events dropped across all threads since the last reset().
 std::uint64_t dropped_events();
+
+/// Lock-free mirror of dropped_events(), for mid-run readers: the bwlive
+/// sampler surfaces buffer overflow *while* the run is going (live gauge
+/// + status line) instead of only in the exit-time trace-health section.
+/// dropped_events() walks the buffer registry under its mutex and must
+/// not be called concurrently with recording; this relaxed counter may.
+std::uint64_t dropped_events_now();
 
 /// Per-thread drop accounting, surfaced in the run-report JSON so a
 /// truncated timeline is visible post-run (satellite of ISSUE 4). One

@@ -1,0 +1,98 @@
+#include "core/livemon.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "par/simmpi.hpp"
+#include "sim/machine.hpp"
+
+namespace bwlab::core {
+
+double live_roof_bytes_per_s(const sim::MachineModel& machine) {
+  return machine.stream_triad_node;
+}
+
+namespace {
+
+/// True when rank `r` made no observable progress between samples i-1
+/// and i: every progress key the series carries for it is flat. A rank
+/// with no progress keys at all is never flagged (nothing to judge).
+bool window_flat(const live::TimeSeries& ts, int r, std::size_t i) {
+  bool any_key = false;
+  for (const char* what : {"steps", "msgs_sent", "bytes_sent"}) {
+    const int k = ts.key_index(live::rank_key(r, what));
+    if (k < 0) continue;
+    any_key = true;
+    if (ts.value(i, k) != ts.value(i - 1, k)) return false;
+  }
+  return any_key;
+}
+
+}  // namespace
+
+std::vector<StallFlag> classify_stalls(const live::TimeSeries& ts,
+                                       std::size_t windows) {
+  std::vector<StallFlag> out;
+  if (windows == 0 || ts.size() < windows + 1) return out;
+  for (const int r : ts.ranks()) {
+    std::size_t flat = 0;
+    for (std::size_t i = ts.size() - 1; i > 0; --i) {
+      if (!window_flat(ts, r, i)) break;
+      ++flat;
+    }
+    if (flat >= windows)
+      out.push_back(StallFlag{r, flat, ts.times[ts.size() - 1 - flat]});
+  }
+  return out;
+}
+
+std::string live_rank_table(const live::TimeSeries& ts,
+                            std::size_t windows) {
+  std::ostringstream os;
+  const std::vector<int> ranks = ts.ranks();
+  if (ranks.empty()) return "";
+  std::vector<int> stalled;
+  for (const StallFlag& f : classify_stalls(ts, windows))
+    stalled.push_back(f.rank);
+  os << "  rank      steps       msgs    MB sent  pend  mbox  op\n";
+  for (const int r : ranks) {
+    const bool is_stalled =
+        std::find(stalled.begin(), stalled.end(), r) != stalled.end();
+    os << "  " << std::setw(4) << r << "  " << std::setw(9)
+       << static_cast<long long>(ts.last(live::rank_key(r, "steps")))
+       << "  " << std::setw(9)
+       << static_cast<long long>(ts.last(live::rank_key(r, "msgs_sent")))
+       << "  " << std::setw(9) << std::fixed << std::setprecision(2)
+       << ts.last(live::rank_key(r, "bytes_sent")) / 1e6 << "  "
+       << std::setw(4)
+       << static_cast<long long>(ts.last(live::rank_key(r, "pending_irecv")))
+       << "  " << std::setw(4)
+       << static_cast<long long>(ts.last(live::rank_key(r, "mailbox")))
+       << "  "
+       << par::blocked_op_name(
+              static_cast<int>(ts.last(live::rank_key(r, "blocked_op"))))
+       << (is_stalled ? "  ** STALLING **" : "") << "\n";
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
+  return os.str();
+}
+
+std::string live_rate_line(const live::TimeSeries& ts) {
+  std::ostringstream os;
+  if (ts.empty()) return "no samples";
+  const bool exact = ts.key_index("datmove.cum_bytes") >= 0;
+  const double bw =
+      ts.last_rate(exact ? "datmove.cum_bytes" : "live.loop_bytes");
+  os << std::fixed << std::setprecision(2) << bw / 1e9 << " GB/s ("
+     << (exact ? "exact" : "modeled") << ")";
+  if (ts.roof_bytes_per_s > 0)
+    os << ", " << std::setprecision(1)
+       << 100.0 * bw / ts.roof_bytes_per_s << "% of the "
+       << std::setprecision(0) << ts.roof_bytes_per_s / 1e9
+       << " GB/s STREAM roof";
+  return os.str();
+}
+
+}  // namespace bwlab::core

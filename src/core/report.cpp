@@ -108,8 +108,13 @@ RunReport make_run_report(const Instrumentation& instr,
                           const AttributionReport* attr,
                           const causal::Report* causal_rep,
                           const DatMoveReport* datmove,
-                          const RunProvenance* provenance) {
+                          const RunProvenance* provenance,
+                          const live::TimeSeries* timeseries) {
   RunReport r;
+  if (timeseries != nullptr && !timeseries->empty()) {
+    r.has_timeseries = true;
+    r.timeseries = *timeseries;
+  }
   if (provenance != nullptr) {
     r.provenance = *provenance;
     r.provenance.present = true;
@@ -325,6 +330,10 @@ void write_run_report_json(std::ostream& os, const RunReport& r) {
       os << "\", \"dropped\": " << d.dropped << "}";
     }
     os << (tfirst ? "]" : "\n    ]") << "\n  }";
+  }
+  if (r.has_timeseries) {
+    os << ",\n  \"timeseries\": ";
+    live::write_timeseries_json(os, r.timeseries, 2);
   }
   os << "\n}\n";
 }
@@ -566,6 +575,10 @@ RunReport parse_run_report(std::istream& is) {
   if (const json::Value* rs = root.find("resil")) r.resil = parse_resil(*rs);
   if (const json::Value* t = root.find("trace"))
     r.trace_health = parse_trace(*t);
+  if (const json::Value* ts = root.find("timeseries")) {
+    r.has_timeseries = true;
+    r.timeseries = live::timeseries_from_json(*ts);
+  }
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include "common/instrument.hpp"
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "common/timeseries.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "core/attribution.hpp"
@@ -148,6 +149,11 @@ struct RunReport {
   DatMoveReport datmove;
   ResilSection resil;
   TraceSection trace_health;
+  /// The bwlive "timeseries" section (written only when a run sampled):
+  /// the schema-versioned telemetry series, stored verbatim so reprinting
+  /// a parsed report is exact.
+  bool has_timeseries = false;
+  live::TimeSeries timeseries;
 };
 
 /// Snapshots the live run state into a RunReport: instrumentation records,
@@ -160,7 +166,8 @@ RunReport make_run_report(const Instrumentation& instr,
                           const AttributionReport* attr = nullptr,
                           const causal::Report* causal_rep = nullptr,
                           const DatMoveReport* datmove = nullptr,
-                          const RunProvenance* provenance = nullptr);
+                          const RunProvenance* provenance = nullptr,
+                          const live::TimeSeries* timeseries = nullptr);
 
 /// Serializes `r` as the run-report JSON. Absent sections (present/has_*
 /// false) are omitted entirely, so a report without them is byte-identical

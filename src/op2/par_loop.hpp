@@ -22,6 +22,7 @@
 
 #include "common/fault.hpp"
 #include "common/instrument.hpp"
+#include "common/live.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -517,6 +518,7 @@ void record(Runtime& rt, const LoopMeta& meta, const Set& set,
   count_t bytes_pp = 0;
   ((bytes_pp += detail::arg_bytes(args)), ...);
   rec.bytes += bytes_pp * static_cast<count_t>(set.size());
+  live::on_loop_bytes(bytes_pp * static_cast<count_t>(set.size()));
   rec.flops += meta.flops_per_elem * static_cast<double>(set.size());
   rec.host_seconds += elapsed;
   rec.ndims = 1;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/live.hpp"
 #include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -398,6 +399,7 @@ void par_loop(const LoopMeta& meta, Block& b, const Range& range,
   rec.points += pts;
   rec.bytes += pts * bytes_pp;
   rec.flops += static_cast<double>(pts) * meta.flops_per_point;
+  live::on_loop_bytes(pts * bytes_pp);
 
   // bwmem: exact bytes for eager execution (lazy loops are counted by the
   // chain executor over the extended ranges it actually runs).
@@ -549,6 +551,7 @@ void par_loop_blocked(const LoopMeta& meta, Block& b, const Range& range,
   rec.bytes += pts * bytes_pp;
   rec.flops += static_cast<double>(pts) * meta.flops_per_point;
   rec.ndims = b.ndims();
+  live::on_loop_bytes(pts * bytes_pp);
 
   if (datmove::enabled() && !local.empty()) {
     (detail::datmove_record(ctx, meta.name, local, args), ...);

@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/live.hpp"
 #include "common/metrics.hpp"
 #include "common/resil.hpp"
 #include "common/timer.hpp"
@@ -71,6 +72,13 @@ const char* to_string(BlockedOp op) {
 
 }  // namespace
 
+const char* blocked_op_name(int code) {
+  if (code < static_cast<int>(BlockedOp::None) ||
+      code > static_cast<int>(BlockedOp::Done))
+    return "?";
+  return to_string(static_cast<BlockedOp>(code));
+}
+
 /// Shared state of one run_ranks() execution.
 class World {
  public:
@@ -79,7 +87,9 @@ class World {
         phases_(static_cast<std::size_t>(nranks)),
         sends_(static_cast<std::size_t>(nranks)),
         bytes_(static_cast<std::size_t>(nranks)),
-        pending_irecv_(static_cast<std::size_t>(nranks)) {}
+        pending_irecv_(static_cast<std::size_t>(nranks)),
+        mailbox_n_(static_cast<std::size_t>(nranks)),
+        phase_op_(static_cast<std::size_t>(nranks)) {}
 
   int size() const { return n_; }
 
@@ -93,6 +103,7 @@ class World {
     {
       std::lock_guard<std::mutex> lock(box.mu);
       box.messages.push_back(std::move(msg));
+      sync_mailbox_gauge(dest, box);
     }
     sends_[static_cast<std::size_t>(src)].fetch_add(
         1, std::memory_order_relaxed);
@@ -153,6 +164,7 @@ class World {
                       << "send carries " << match->payload.size());
     std::memcpy(data, match->payload.data(), bytes);
     box.messages.erase(match);
+    sync_mailbox_gauge(dest, box);
     lock.unlock();
     set_phase(dest, BlockedOp::None, -1, -1, 0);
     bump_activity();
@@ -219,6 +231,7 @@ class World {
           box.messages.erase(match);
           got = true;
         }
+        sync_mailbox_gauge(dest, box);
       }
       if (got) {
         resil_consume(src, dest, tag, want);
@@ -274,6 +287,7 @@ class World {
                           << match->payload.size());
         std::memcpy(data, match->payload.data(), bytes);
         box.messages.erase(match);
+        sync_mailbox_gauge(dest, box);
         lock.unlock();
         resil_consume(src, dest, tag, want);
         set_phase(dest, BlockedOp::None, -1, -1, 0);
@@ -509,6 +523,30 @@ class World {
     abort_all();
   }
 
+  /// bwlive provider: per-rank census from the lock-free mirrors only
+  /// (send counters, pending irecvs, mailbox occupancy, blocked-op code —
+  /// see blocked_op_name). Safe to call from the sampler thread at any
+  /// point while the world is alive; never touches a mailbox or state
+  /// mutex a rank could be holding.
+  void live_sample(std::map<std::string, double>& kv) const {
+    kv["world.ranks"] = static_cast<double>(n_);
+    kv["world.activity"] =
+        static_cast<double>(activity_.load(std::memory_order_relaxed));
+    for (int r = 0; r < n_; ++r) {
+      const auto rs = static_cast<std::size_t>(r);
+      kv[live::rank_key(r, "msgs_sent")] = static_cast<double>(
+          sends_[rs].load(std::memory_order_relaxed));
+      kv[live::rank_key(r, "bytes_sent")] = static_cast<double>(
+          bytes_[rs].load(std::memory_order_relaxed));
+      kv[live::rank_key(r, "pending_irecv")] = static_cast<double>(
+          pending_irecv_[rs].load(std::memory_order_relaxed));
+      kv[live::rank_key(r, "mailbox")] = static_cast<double>(
+          mailbox_n_[rs].load(std::memory_order_relaxed));
+      kv[live::rank_key(r, "blocked_op")] = static_cast<double>(
+          phase_op_[rs].load(std::memory_order_relaxed));
+    }
+  }
+
   bool watchdog_fired() const {
     std::lock_guard<std::mutex> lock(state_mu_);
     return watchdog_fired_;
@@ -547,6 +585,9 @@ class World {
 
   void set_phase(int rank, BlockedOp op, int peer, int tag,
                  std::size_t bytes, int attempt = 0) {
+    // Lock-free mirror first: the bwlive sampler reads it without state_mu_.
+    phase_op_[static_cast<std::size_t>(rank)].store(
+        static_cast<int>(op), std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(state_mu_);
     RankPhase& p = phases_[static_cast<std::size_t>(rank)];
     p.op = op;
@@ -554,6 +595,13 @@ class World {
     p.tag = tag;
     p.bytes = bytes;
     p.attempt = attempt;
+  }
+
+  /// Refreshes the lock-free mailbox-occupancy mirror; caller holds box.mu.
+  void sync_mailbox_gauge(int dest, const Mailbox& box) {
+    mailbox_n_[static_cast<std::size_t>(dest)].store(
+        static_cast<long long>(box.messages.size()),
+        std::memory_order_relaxed);
   }
 
   /// Copies the replay-log entry with wire seq `want` of stream
@@ -606,6 +654,10 @@ class World {
   std::vector<std::atomic<long long>> sends_;
   std::vector<std::atomic<long long>> bytes_;
   std::vector<std::atomic<long long>> pending_irecv_;
+  /// Lock-free mirrors for the bwlive sampler: mailbox occupancy (synced
+  /// under each box's mu) and the current BlockedOp code per rank.
+  std::vector<std::atomic<long long>> mailbox_n_;
+  std::vector<std::atomic<int>> phase_op_;
 
   // bwresil per-stream state: wire seq counters and the sender-side
   // replay log, all keyed (src, dest, tag) — except recv seqs, keyed
@@ -817,6 +869,27 @@ std::vector<RankStats> run_ranks(int nranks,
                                  const RunOptions& opts) {
   BWLAB_REQUIRE(nranks >= 1, "run_ranks needs >= 1 rank, got " << nranks);
   World world(nranks);
+
+  // bwlive: while this world is alive, the sampler sees its per-rank
+  // census. The guard is declared after `world`, so on every exit path it
+  // takes one final synchronous sample (the ranks' exact end state — what
+  // makes the series' last cumulative values match the exit aggregates)
+  // and then unregisters before the world dies; remove_provider blocks
+  // until any in-flight sample is done with it.
+  struct LiveGuard {
+    int id = -1;
+    explicit LiveGuard(World& w) {
+      if (live::enabled())
+        id = live::add_provider(
+            [&w](std::map<std::string, double>& kv) { w.live_sample(kv); });
+    }
+    ~LiveGuard() {
+      if (id < 0) return;
+      if (live::running()) live::sample_now();
+      live::remove_provider(id);
+    }
+  } live_guard(world);
+
   std::vector<RankStats> stats(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 

@@ -142,6 +142,11 @@ class WatchdogError : public Error {
   explicit WatchdogError(const std::string& dump) : Error(dump) {}
 };
 
+/// Human-readable name of a blocked-op code as exported by the bwlive
+/// per-rank census ("rank.<R>.blocked_op"): 0 running, 1 recv, 2 wait,
+/// 3 barrier, 4 allreduce, 5 backoff, 6 done. "?" for anything else.
+const char* blocked_op_name(int code);
+
 /// Knobs of one run_ranks execution.
 struct RunOptions {
   /// Grace period of the progress watchdog: a stable "all live ranks

@@ -1,14 +1,77 @@
 #include "par/thread_pool.hpp"
 
+#include <map>
 #include <string>
 
+#include "common/live.hpp"
 #include "common/trace.hpp"
 
 namespace bwlab::par {
 
+namespace {
+
+// Process-wide census: every live pool contributes, so the bwlive sampler
+// sees total occupancy without enumerating pools (relaxed atomics only).
+std::atomic<long long> g_pools{0};
+std::atomic<long long> g_threads{0};
+std::atomic<long long> g_active{0};
+std::atomic<long long> g_queued{0};
+std::atomic<long long> g_regions{0};
+std::once_flag g_census_provider_once;
+
+/// Registered once, never removed: reads only the global atomics, so it
+/// stays valid after every pool is gone.
+void register_census_provider() {
+  std::call_once(g_census_provider_once, [] {
+    live::add_provider([](std::map<std::string, double>& kv) {
+      const PoolCensus c = pool_census();
+      kv["pool.pools"] = static_cast<double>(c.pools);
+      kv["pool.threads"] = static_cast<double>(c.threads);
+      kv["pool.active_workers"] = static_cast<double>(c.active_workers);
+      kv["pool.queued"] = static_cast<double>(c.queued);
+      kv["pool.regions"] = static_cast<double>(c.regions);
+    });
+  });
+}
+
+/// Brackets one team member's task execution in the per-pool and global
+/// active counts (exception-safe: a throwing task must not wedge the
+/// census).
+class ActiveGuard {
+ public:
+  explicit ActiveGuard(std::atomic<int>& pool_active) : pool_(pool_active) {
+    pool_.fetch_add(1, std::memory_order_relaxed);
+    g_active.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ActiveGuard() {
+    pool_.fetch_sub(1, std::memory_order_relaxed);
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ActiveGuard(const ActiveGuard&) = delete;
+  ActiveGuard& operator=(const ActiveGuard&) = delete;
+
+ private:
+  std::atomic<int>& pool_;
+};
+
+}  // namespace
+
+PoolCensus pool_census() {
+  PoolCensus c;
+  c.pools = g_pools.load(std::memory_order_relaxed);
+  c.threads = g_threads.load(std::memory_order_relaxed);
+  c.active_workers = g_active.load(std::memory_order_relaxed);
+  c.queued = g_queued.load(std::memory_order_relaxed);
+  c.regions = g_regions.load(std::memory_order_relaxed);
+  return c;
+}
+
 ThreadPool::ThreadPool(int threads)
     : threads_(threads), trace_rank_(trace::current_rank()) {
   BWLAB_REQUIRE(threads >= 1, "thread pool needs >= 1 thread, got " << threads);
+  register_census_provider();
+  g_pools.fetch_add(1, std::memory_order_relaxed);
+  g_threads.fetch_add(threads, std::memory_order_relaxed);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int t = 1; t < threads; ++t)
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -21,11 +84,16 @@ ThreadPool::~ThreadPool() {
   }
   cv_start_.notify_all();
   for (std::thread& w : workers_) w.join();
+  g_pools.fetch_sub(1, std::memory_order_relaxed);
+  g_threads.fetch_sub(threads_, std::memory_order_relaxed);
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
   trace::TraceSpan span(trace::Cat::Region, "pool.run");
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  g_regions.fetch_add(1, std::memory_order_relaxed);
   if (threads_ == 1) {
+    ActiveGuard guard(active_);
     fn(0);
     return;
   }
@@ -34,9 +102,14 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     task_ = &fn;
     pending_ = threads_ - 1;
     ++generation_;
+    queued_.store(threads_ - 1, std::memory_order_relaxed);
+    g_queued.fetch_add(threads_ - 1, std::memory_order_relaxed);
   }
   cv_start_.notify_all();
-  fn(0);  // member 0 is the caller
+  {
+    ActiveGuard guard(active_);
+    fn(0);  // member 0 is the caller
+  }
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return pending_ == 0; });
   task_ = nullptr;
@@ -58,11 +131,14 @@ void ThreadPool::worker_loop(int tid) {
       if (shutdown_) return;
       seen = generation_;
       task = task_;
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      g_queued.fetch_sub(1, std::memory_order_relaxed);
     }
     {
       // Recorded on the worker's own track: shows worker occupancy per
       // parallel region in the trace.
       trace::TraceSpan span(trace::Cat::Region, "pool.task");
+      ActiveGuard guard(active_);
       (*task)(tid);
     }
     {

@@ -26,6 +26,20 @@ namespace bwlab::par {
 /// on the slowest thread.
 enum class Schedule { Static, Dynamic };
 
+/// Process-wide pool occupancy snapshot, aggregated over every live
+/// ThreadPool: relaxed-atomic reads, safe from any thread while regions
+/// run. This is the bwlive sampler's view of the execution engine (it is
+/// registered as a `pool.*` telemetry provider on first pool creation).
+struct PoolCensus {
+  long long pools = 0;           ///< live ThreadPool instances
+  long long threads = 0;         ///< team members across live pools
+  long long active_workers = 0;  ///< members currently inside a task
+  long long queued = 0;          ///< members signaled but not yet running
+  long long regions = 0;         ///< parallel regions executed (cumulative)
+};
+
+PoolCensus pool_census();
+
 class ThreadPool {
  public:
   /// Creates a team of `threads` (>= 1). The calling thread acts as team
@@ -37,6 +51,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return threads_; }
+
+  /// Members of *this* pool currently executing a task. Lock-free
+  /// (relaxed) — callable concurrently with run() from a sampler thread.
+  int active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  /// Workers signaled for the current region that have not yet picked the
+  /// task up — the pool's queue depth. Lock-free (relaxed).
+  int queued() const { return queued_.load(std::memory_order_relaxed); }
+  /// Parallel regions this pool has executed (cumulative). Lock-free.
+  count_t regions() const {
+    return regions_.load(std::memory_order_relaxed);
+  }
 
   /// Executes `fn(tid)` on every team member (tid in [0, size())) and
   /// returns when all are done.
@@ -118,6 +145,12 @@ class ThreadPool {
   count_t generation_ = 0;
   int pending_ = 0;
   bool shutdown_ = false;
+
+  // Sampler-visible occupancy mirrors (see PoolCensus). Kept separate
+  // from pending_/generation_ so readers never need mu_.
+  std::atomic<int> active_{0};
+  std::atomic<int> queued_{0};
+  std::atomic<count_t> regions_{0};
 };
 
 }  // namespace bwlab::par
