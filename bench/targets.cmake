@@ -13,6 +13,7 @@ set(BWLAB_FIG_BENCHES
   fig7_mpi_overhead
   fig8_effective_bandwidth
   fig9_tiling
+  fig_modes
   tbl_systems
   tbl_minibude_configs
   abl_tile_size
@@ -108,12 +109,25 @@ target_link_libraries(gb_live_overhead
 set_target_properties(gb_live_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# memtier hot-path guard: the allocator hook compiled into every
+# ops::Dat / op2::Dat constructor must stay one relaxed load + branch
+# while no placement config is installed.
+add_executable(gb_memtier_overhead ${CMAKE_SOURCE_DIR}/bench/gb_memtier_overhead.cpp)
+target_include_directories(gb_memtier_overhead PRIVATE ${CMAKE_SOURCE_DIR})
+target_link_libraries(gb_memtier_overhead
+  PRIVATE bwlab_core bwlab_apps bwlab_sim bwlab_par bwlab_common
+          bwlab_warnings)
+set_target_properties(gb_memtier_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # The self-checking budget benches double as ctest entries under the
 # "bench" label (`ctest -L bench`), so the perf trip wires run with the
-# suite instead of needing a separate CI step.
+# suite instead of needing a separate CI step. fig_modes is in the list
+# because it also self-checks (the Ibeid degradation shape).
 if(BWLAB_BUILD_TESTS)
   foreach(b gb_trace_overhead gb_fault_overhead gb_causal_overhead
-            gb_datmove_overhead gb_resil_overhead gb_live_overhead)
+            gb_datmove_overhead gb_resil_overhead gb_live_overhead
+            gb_memtier_overhead fig_modes)
     add_test(NAME ${b} COMMAND ${b})
     set_tests_properties(${b} PROPERTIES TIMEOUT 120 LABELS bench)
   endforeach()

@@ -16,9 +16,20 @@
 //   --datmove       bwmem: count exact per-loop/per-dat bytes moved,
 //                   print the data-movement, tier-traffic, and reuse
 //                   tables, and add a "datmove" section to --report.
-//                   --placement=auto|hbm|ddr picks the dat->tier policy;
-//                   --byte-tol=X sets the counted-vs-modeled byte-drift
-//                   tolerance (default 0.10).
+//                   --placement=auto|hbm|ddr|firsttouch picks the
+//                   dat->tier what-if policy; --byte-tol=X sets the
+//                   counted-vs-modeled byte-drift tolerance (default 0.10).
+//
+// Memory modes (memtier):
+//   --mode=hbm|flat|cache  memory mode of the machine: resolves the
+//                   corresponding machine_by_id variant (a numeric value
+//                   keeps its legacy meaning, the app's execution mode)
+//   --snc=0|1       sub-NUMA clustering; --snc=0 resolves the "-quad"
+//                   variant (one NUMA domain per socket)
+//   --place=auto|hbm|ddr|firsttouch  installs the tier-aware allocator:
+//                   every Dat constructed during the run is placed on a
+//                   memory tier, the decisions feed the datmove tier
+//                   attribution and the "memtier" report section
 //
 // Examples:
 //   ./build/examples/run_app --app=clover2d --n=64 --iters=3 --ranks=2
@@ -59,6 +70,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/live.hpp"
+#include "common/memtier.hpp"
 #include "common/metrics.hpp"
 #include "common/resil.hpp"
 #include "common/table.hpp"
@@ -69,6 +81,7 @@
 #include "core/datmove.hpp"
 #include "core/diff.hpp"
 #include "core/livemon.hpp"
+#include "core/memtier.hpp"
 #include "core/report.hpp"
 #include "core/tuning.hpp"
 
@@ -150,7 +163,9 @@ int main(int argc, char** argv) {
               << "  --causal --trace-buffer=N\n"
               << "  --diff-against=REPORT.json (print the bwdiff delta "
                  "tables vs a saved run)\n"
-              << "  --datmove --placement=auto|hbm|ddr\n"
+              << "  --datmove --placement=auto|hbm|ddr|firsttouch\n"
+              << "  --mode=hbm|flat|cache --snc=0|1 "
+                 "--place=auto|hbm|ddr|firsttouch\n"
               << "  --machine=ID --attr-tol=X\n"
               << "  --faults=SPEC --watchdog-ms=G --checkpoint-every=K\n"
               << "  --max-restarts=R --nan-guard=0|1|2\n"
@@ -171,9 +186,17 @@ int main(int argc, char** argv) {
   opt.tiled = cli.get_bool("tiled", false);
   opt.tile_size = cli.get_int("tile-size", 0);
   // The attribution machine also scopes the tile-height auto-tuner's
-  // cache budget, so resolve it before dispatch.
-  const sim::MachineModel& machine =
-      sim::machine_by_id(cli.get("machine", "max9480"));
+  // cache budget, so resolve it before dispatch. --mode doubles as the
+  // memory-mode selector: a string value resolves the machine's
+  // memory-mode variant; a numeric value keeps its legacy meaning as the
+  // app execution mode. --snc=0 resolves the "-quad" (SNC-off) variant.
+  std::string machine_id = cli.get("machine", "max9480");
+  const std::string mode = cli.get("mode", "");
+  const bool mode_is_memory =
+      mode == "hbm" || mode == "hbmonly" || mode == "flat" || mode == "cache";
+  if (mode_is_memory) machine_id += "-" + mode;
+  if (!cli.get_bool("snc", true)) machine_id += "-quad";
+  const sim::MachineModel& machine = sim::machine_by_id(machine_id);
   const std::string tile = cli.get("tile", "");
   if (!tile.empty()) {
     // --tile=H implies --tiled; --tile=auto lets the executor size the
@@ -187,7 +210,8 @@ int main(int argc, char** argv) {
       opt.tile_size = std::stoll(tile);
     }
   }
-  opt.exec_mode = static_cast<int>(cli.get_int("mode", 0));
+  opt.exec_mode =
+      mode_is_memory ? 0 : static_cast<int>(cli.get_int("mode", 0));
   opt.scenario = static_cast<int>(cli.get_int("scenario", 0));
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 12345));
 
@@ -204,6 +228,14 @@ int main(int argc, char** argv) {
   // so every par_loop counts its descriptor x executed-range bytes.
   const bool datmove_on = cli.get_bool("datmove", false);
   if (datmove_on) core::DataMoveProfiler::enable();
+
+  // memtier: any of --place / --mode=<memory mode> / --snc arms the
+  // tier-aware allocator (installed before dispatch so every Dat
+  // constructor records its placement) and the "memtier" report section.
+  const std::string place = cli.get("place", "");
+  const bool memtier_on = !place.empty() || mode_is_memory || cli.has("snc");
+  const std::string place_policy = place.empty() ? "auto" : place;
+  if (memtier_on) core::install_memtier_allocator(machine, place_policy);
 
   // bwlive: opt-in per-run sampling — any --live-* flag arms it. Started
   // before dispatch so every run_ranks world registers its per-rank
@@ -299,8 +331,17 @@ int main(int argc, char** argv) {
   core::DatMoveReport dm;
   if (datmove_on) {
     core::DataMoveProfiler::disable();
-    dm = core::DataMoveProfiler::analyze(result.instr, &machine,
-                                         cli.get("placement", "auto"));
+    dm = core::DataMoveProfiler::analyze(
+        result.instr, &machine, cli.get("placement", place_policy));
+  }
+  // memtier: snapshot the allocator's tier map plus the mode pricing and
+  // per-tier loop roofs into the report section, then release the
+  // allocator (its gate must not outlive the run).
+  core::MemTierSection mt;
+  if (memtier_on) {
+    mt = core::build_memtier_section(result.instr, machine, place_policy,
+                                     datmove_on ? &dm : nullptr);
+    memtier::uninstall();
   }
   // Provenance stamp: commit, machine model, exact command line, seed —
   // no timestamps, so identical runs produce byte-identical reports.
@@ -312,7 +353,7 @@ int main(int argc, char** argv) {
   const core::RunReport report = core::make_run_report(
       result.instr, &MetricsRegistry::global(), &attr,
       obs.causal ? &causal_rep : nullptr, datmove_on ? &dm : nullptr, &prov,
-      live_on ? &live_ts : nullptr);
+      live_on ? &live_ts : nullptr, memtier_on ? &mt : nullptr);
   if (!obs.report_path.empty()) {
     core::write_run_report_json_file(obs.report_path, report);
     std::cout << "report written to " << obs.report_path << "\n";
@@ -385,6 +426,14 @@ int main(int argc, char** argv) {
     core::datmove_tier_table(dm).print(std::cout);
     std::cout << "\n";
     core::datmove_reuse_table(dm).print(std::cout);
+  }
+  if (memtier_on) {
+    std::cout << "\n";
+    core::memtier_table(mt).print(std::cout);
+    if (!mt.loop_roofs.empty()) {
+      std::cout << "\n";
+      core::memtier_roof_table(mt).print(std::cout);
+    }
   }
   // bwdiff: compare this run against a saved baseline report at exit.
   const std::string diff_against = cli.get("diff-against", "");

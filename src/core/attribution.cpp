@@ -138,4 +138,54 @@ Table attribution_table(const AttributionReport& r) {
   return t;
 }
 
+std::vector<LoopTierRoofs> tier_roof_join(
+    const Instrumentation& instr, const sim::MachineModel& m,
+    const std::map<std::string, std::string>& dat_tier) {
+  // Tier bandwidths by name; the fastest (first) tier takes unmapped dats
+  // — the optimistic default matching the placement policies' packing.
+  std::vector<sim::MemoryTier> tiers = m.tiers;
+  if (tiers.empty()) tiers.push_back({"", 0, 0});
+  auto tier_index = [&](const std::string& name) {
+    for (std::size_t t = 0; t < tiers.size(); ++t)
+      if (tiers[t].name == name) return t;
+    return std::size_t{0};
+  };
+  // loop name -> per-tier byte slices, accumulated from the counted
+  // (bwmem) records.
+  std::map<std::string, std::vector<count_t>> slices;
+  for (const DatMoveRecord* d : instr.datmoves()) {
+    auto it = dat_tier.find(d->dat);
+    const std::size_t t =
+        it == dat_tier.end() ? std::size_t{0} : tier_index(it->second);
+    auto& row = slices[d->loop];
+    row.resize(tiers.size(), 0);
+    row[t] += d->bytes();
+  }
+  std::vector<LoopTierRoofs> out;
+  for (const LoopRecord* l : instr.loops_in_order()) {
+    const auto it = slices.find(l->name);
+    if (it == slices.end()) continue;
+    LoopTierRoofs r;
+    r.loop = l->name;
+    r.measured_s = l->host_seconds;
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+      if (it->second[t] == 0) continue;
+      TierRoofEntry e;
+      e.tier = tiers[t].name;
+      e.bytes = it->second[t];
+      e.roof_seconds = tiers[t].bw_bytes_per_s > 0
+                           ? static_cast<double>(e.bytes) /
+                                 tiers[t].bw_bytes_per_s
+                           : 0.0;
+      if (e.roof_seconds >= r.roof_seconds) {
+        r.roof_seconds = e.roof_seconds;
+        r.binding_tier = e.tier;
+      }
+      r.tiers.push_back(std::move(e));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 }  // namespace bwlab::core

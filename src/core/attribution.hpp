@@ -9,6 +9,7 @@
 // report instead of silently absorbed.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -76,5 +77,35 @@ AttributionReport attribute(const Instrumentation& instr,
 
 /// Per-loop measured/predicted/roof table for console output.
 Table attribution_table(const AttributionReport& r);
+
+// --- bwmem x memtier: per-tier roofline join ---------------------------------
+
+/// One tier's slice of a loop's counted traffic and its roof time at that
+/// tier's bandwidth.
+struct TierRoofEntry {
+  std::string tier;
+  count_t bytes = 0;
+  seconds_t roof_seconds = 0;
+};
+
+/// One loop's counted bytes split across memory tiers by the dat→tier
+/// placement map. The per-loop tier roof is the max over slices — the
+/// slowest tier the loop's data lives in bounds the loop.
+struct LoopTierRoofs {
+  std::string loop;
+  seconds_t measured_s = 0;
+  std::string binding_tier;     ///< tier with the largest slice roof
+  seconds_t roof_seconds = 0;   ///< max over `tiers` roof_seconds
+  std::vector<TierRoofEntry> tiers;
+};
+
+/// Splits every loop's counted (bwmem) traffic across `m`'s tiers using
+/// `dat_tier` (dat name → tier name; unmapped dats land on the fastest
+/// tier) and computes the roof time of each slice at the tier's node
+/// bandwidth. Loops without counted bytes are omitted; order follows
+/// first execution.
+std::vector<LoopTierRoofs> tier_roof_join(
+    const Instrumentation& instr, const sim::MachineModel& m,
+    const std::map<std::string, std::string>& dat_tier);
 
 }  // namespace bwlab::core

@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/memtier.hpp"
 
 namespace bwlab::core {
 
@@ -49,9 +50,9 @@ DatMoveReport DataMoveProfiler::analyze(const Instrumentation& instr,
                                         const sim::MachineModel* machine,
                                         const std::string& placement) {
   BWLAB_REQUIRE(placement == "auto" || placement == "hbm" ||
-                    placement == "ddr",
-                "unknown placement policy '" << placement
-                                             << "' (auto|hbm|ddr)");
+                    placement == "ddr" || placement == "firsttouch",
+                "unknown placement policy '"
+                    << placement << "' (auto|hbm|ddr|firsttouch)");
   DatMoveReport r;
   r.placement_policy = placement;
   if (machine != nullptr) r.machine_id = machine->id;
@@ -81,7 +82,10 @@ DatMoveReport DataMoveProfiler::analyze(const Instrumentation& instr,
   // Placement: pin policies send everything to one tier; "auto" places
   // dats by traffic, hottest first, into the fastest tier with remaining
   // capacity (greedy knapsack — the sizing question "which dats earn the
-  // HBM" answered the simple way).
+  // HBM" answered the simple way). When the memtier allocator recorded a
+  // live decision for a dat (it was placed at construction time), that
+  // decision wins over the what-if policy: the report then attributes
+  // traffic to where the data actually lives.
   const std::vector<sim::MemoryTier> tiers = placement_tiers(machine);
   std::vector<double> remaining(tiers.size());
   for (std::size_t t = 0; t < tiers.size(); ++t)
@@ -93,16 +97,26 @@ DatMoveReport DataMoveProfiler::analyze(const Instrumentation& instr,
                    [&](std::size_t a, std::size_t b) {
                      return fps[a]->bytes_moved > fps[b]->bytes_moved;
                    });
+  auto tier_index = [&](const std::string& name) {
+    for (std::size_t t = 0; t < tiers.size(); ++t)
+      if (tiers[t].name == name) return t;
+    return tiers.size();
+  };
   std::vector<std::size_t> chosen(fps.size(), 0);
   for (const std::size_t i : order) {
-    std::size_t t = 0;
-    if (placement != "auto") {
-      t = pinned_tier(tiers, placement);
-    } else {
-      // Capacity 0 means "unbounded" (tierless pseudo-tier).
-      while (t + 1 < tiers.size() && tiers[t].capacity_bytes > 0 &&
-             remaining[t] < static_cast<double>(fps[i]->alloc_bytes))
-        ++t;
+    std::size_t t = tiers.size();
+    if (memtier::enabled()) t = tier_index(memtier::tier_of(fps[i]->dat));
+    if (t == tiers.size()) {
+      if (placement == "hbm" || placement == "ddr") {
+        t = pinned_tier(tiers, placement);
+      } else {
+        // "auto"/"firsttouch" what-if without an allocator decision.
+        // Capacity 0 means "unbounded" (tierless pseudo-tier).
+        t = 0;
+        while (t + 1 < tiers.size() && tiers[t].capacity_bytes > 0 &&
+               remaining[t] < static_cast<double>(fps[i]->alloc_bytes))
+          ++t;
+      }
     }
     chosen[i] = t;
     remaining[t] -= static_cast<double>(fps[i]->alloc_bytes);

@@ -1,0 +1,86 @@
+// The "memtier" run-report section: where the run's data lived (the
+// memtier allocator's tier map), how the machine's memory mode priced it
+// (hit fraction, tiered bandwidth, spill estimate), and the bwmem x
+// roofline join split per tier (core/attribution.cpp tier_roof_join).
+// Schema-versioned and stored-value-only like every other section, so
+// write -> parse -> write is bitwise.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/instrument.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "core/attribution.hpp"
+#include "core/datmove.hpp"
+#include "sim/machine.hpp"
+
+namespace bwlab::core {
+
+inline constexpr int kMemTierSchemaVersion = 1;
+
+/// One tier's capacity/bandwidth spec plus what the run put on it.
+struct MemTierTier {
+  std::string name;
+  double capacity_bytes = 0;
+  double bw_bytes_per_s = 0;
+  count_t resident_bytes = 0;  ///< sum of alloc bytes of dats placed here
+  count_t traffic_bytes = 0;   ///< counted bytes moved by those dats
+};
+
+/// One dat's placement decision.
+struct MemTierPlacement {
+  std::string dat;
+  std::string tier;
+  count_t alloc_bytes = 0;
+};
+
+/// The "memtier" section (RunReport::memtier, gated by has_memtier).
+struct MemTierSection {
+  bool present = false;
+  int schema_version = kMemTierSchemaVersion;
+  std::string machine_id;  ///< machine (or variant) the run modeled
+  std::string mode;        ///< "hbmonly" | "flat" | "cache"
+  bool snc = false;        ///< sub-NUMA clustering partitions the tiers
+  std::string place;       ///< placement policy (--place)
+  count_t working_set_bytes = 0;  ///< sum of dat allocation footprints
+  double hbm_capacity_bytes = 0;  ///< node HBM capacity (0 when absent)
+  /// BandwidthModel::hbm_service_fraction at the run's working set: the
+  /// flat-mode packing fraction or the cache-mode hit curve.
+  double hbm_hit_fraction = 0;
+  /// Reuse-histogram bytes whose stack distance exceeds the HBM capacity
+  /// — the traffic a transparent HBM cache of that size cannot serve.
+  count_t est_spill_bytes = 0;
+  /// Mode-aware DRAM bandwidth at the run's working set (node scope).
+  double tiered_bw_bytes_per_s = 0;
+  std::vector<MemTierTier> tiers;             ///< fastest first
+  std::vector<MemTierPlacement> placements;   ///< allocation order
+  std::vector<LoopTierRoofs> loop_roofs;      ///< first-execution order
+};
+
+/// Builds the section from the run's instrumentation and machine model.
+/// Placement decisions come from the live memtier allocator when it is
+/// enabled, else from `dm`'s what-if placement when given, else every dat
+/// is attributed to the fastest tier.
+MemTierSection build_memtier_section(const Instrumentation& instr,
+                                     const sim::MachineModel& m,
+                                     const std::string& place,
+                                     const DatMoveReport* dm = nullptr);
+
+/// Adapts `m`'s tiers into a memtier::Config (node capacities, SNC-aware
+/// numa_domains) and installs the allocator with policy `place`.
+void install_memtier_allocator(const sim::MachineModel& m,
+                               const std::string& place);
+
+/// Console tables: tier placement summary and the per-tier loop roofs.
+Table memtier_table(const MemTierSection& s);
+Table memtier_roof_table(const MemTierSection& s);
+
+/// JSON writer (the "memtier" object of the run report).
+void write_json(std::ostream& os, const MemTierSection& s, int indent);
+/// Inverse of write_json; throws bwlab::Error on malformed input.
+MemTierSection memtier_from_json(const json::Value& v);
+
+}  // namespace bwlab::core

@@ -26,9 +26,12 @@ double PerfModel::kernel_bw(const AppProfile& app, const KernelProfile& k,
                             const Config& cfg) const {
   // Cache-friction term: fraction of the STREAM curve this pattern can
   // achieve given the machine's cache:memory bandwidth headroom.
+  // The friction-inflated working set prices cache residency; the DRAM
+  // tier blend (HBM packing / cache-mode hit curve) prices the bytes
+  // actually resident, so it gets the raw footprint.
   const double curve = bwm_.stream_bw(
       std::max(app.working_set_bytes * app_cache_fit_penalty(), 1.0),
-      sim::Scope::Node);
+      sim::Scope::Node, false, std::max(app.working_set_bytes, 1.0));
   const double rho = bwm_.cache_to_mem_ratio();
   double kappa = pattern_cache_kappa(k.pattern);
   // Stream-count friction: arrays beyond what the prefetchers track add

@@ -109,8 +109,13 @@ RunReport make_run_report(const Instrumentation& instr,
                           const causal::Report* causal_rep,
                           const DatMoveReport* datmove,
                           const RunProvenance* provenance,
-                          const live::TimeSeries* timeseries) {
+                          const live::TimeSeries* timeseries,
+                          const MemTierSection* memtier) {
   RunReport r;
+  if (memtier != nullptr && memtier->present) {
+    r.has_memtier = true;
+    r.memtier = *memtier;
+  }
   if (timeseries != nullptr && !timeseries->empty()) {
     r.has_timeseries = true;
     r.timeseries = *timeseries;
@@ -301,6 +306,10 @@ void write_run_report_json(std::ostream& os, const RunReport& r) {
   if (r.has_datmove) {
     os << ",\n  \"datmove\": ";
     core::write_json(os, r.datmove, 2);
+  }
+  if (r.has_memtier) {
+    os << ",\n  \"memtier\": ";
+    core::write_json(os, r.memtier, 2);
   }
   if (r.resil.present) {
     const ResilSection& rs = r.resil;
@@ -571,6 +580,10 @@ RunReport parse_run_report(std::istream& is) {
   if (const json::Value* d = root.find("datmove")) {
     r.has_datmove = true;
     r.datmove = datmove_from_json(*d);
+  }
+  if (const json::Value* mt = root.find("memtier")) {
+    r.has_memtier = true;
+    r.memtier = memtier_from_json(*mt);
   }
   if (const json::Value* rs = root.find("resil")) r.resil = parse_resil(*rs);
   if (const json::Value* t = root.find("trace"))

@@ -18,6 +18,7 @@
 #include "core/attribution.hpp"
 #include "core/causal.hpp"
 #include "core/datmove.hpp"
+#include "core/memtier.hpp"
 
 namespace bwlab::core {
 
@@ -147,6 +148,10 @@ struct RunReport {
   causal::CausalSection causal;  ///< .present gates the section
   bool has_datmove = false;
   DatMoveReport datmove;
+  /// The bwmem x memory-mode "memtier" section (written when run_app
+  /// modeled placement): tier map, mode pricing, per-tier loop roofs.
+  bool has_memtier = false;
+  MemTierSection memtier;
   ResilSection resil;
   TraceSection trace_health;
   /// The bwlive "timeseries" section (written only when a run sampled):
@@ -167,7 +172,8 @@ RunReport make_run_report(const Instrumentation& instr,
                           const causal::Report* causal_rep = nullptr,
                           const DatMoveReport* datmove = nullptr,
                           const RunProvenance* provenance = nullptr,
-                          const live::TimeSeries* timeseries = nullptr);
+                          const live::TimeSeries* timeseries = nullptr,
+                          const MemTierSection* memtier = nullptr);
 
 /// Serializes `r` as the run-report JSON. Absent sections (present/has_*
 /// false) are omitted entirely, so a report without them is byte-identical

@@ -8,6 +8,7 @@
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
+#include "common/memtier.hpp"
 #include "common/types.hpp"
 
 namespace bwlab::op2 {
@@ -65,7 +66,9 @@ class Dat {
  public:
   Dat(const Set& set, std::string name, int dim, T init = T{})
       : set_(&set), name_(std::move(name)), dim_(dim),
-        data_(static_cast<std::size_t>(set.size() * dim), init) {}
+        data_(static_cast<std::size_t>(set.size() * dim), init) {
+    memtier::on_alloc(name_, data_.size() * sizeof(T));
+  }
 
   const Set& set() const { return *set_; }
   const std::string& name() const { return name_; }

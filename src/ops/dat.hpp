@@ -15,6 +15,7 @@
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
+#include "common/memtier.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "common/types.hpp"
@@ -111,6 +112,7 @@ class Dat {
     sy_ = ahi_[1] - alo_[1];
     data_.assign(static_cast<std::size_t>(sx_ * sy_ * (ahi_[2] - alo_[2])),
                  init);
+    memtier::on_alloc(name_, data_.size() * sizeof(T));
   }
 
   Block& block() const { return *block_; }

@@ -1,6 +1,7 @@
 #include "sim/bandwidth.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -59,15 +60,80 @@ double BandwidthModel::mem_bw(Scope scope, bool streaming_stores) const {
   return 0;
 }
 
+namespace {
+
+// Divisor turning a node-wide quantity into its share at `scope`; SNC
+// partitions tier capacity and bandwidth evenly across sub-NUMA domains.
+double scope_divisor(const MachineModel& m, Scope scope) {
+  switch (scope) {
+    case Scope::OneNuma: return m.total_numa();
+    case Scope::OneSocket: return m.sockets;
+    case Scope::Node: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double BandwidthModel::hbm_service_fraction(double working_set_bytes,
+                                            Scope scope) const {
+  BWLAB_REQUIRE(working_set_bytes > 0,
+                "working set must be positive, got " << working_set_bytes);
+  const double cap = m_.sockets * m_.hbm_capacity_per_socket /
+                     scope_divisor(m_, scope);
+  if (cap <= 0) return 0.0;
+  switch (m_.memory_mode) {
+    case MemoryMode::HbmOnly:
+      return 1.0;
+    case MemoryMode::Flat: {
+      // Explicit placement packs the fast tier to its full capacity; the
+      // overflow streams from DDR at DDR speed, no miss amplification.
+      return std::min(1.0, cap / working_set_bytes);
+    }
+    case MemoryMode::Cache: {
+      const double ratio = kFitFraction * cap / working_set_bytes;
+      if (ratio >= 1.0) return 1.0;
+      return std::pow(ratio, kCacheCurveExponent);
+    }
+  }
+  return 0.0;
+}
+
+double BandwidthModel::tiered_mem_bw(double working_set_bytes, Scope scope,
+                                     bool streaming_stores) const {
+  // Single-tier configurations (HBM-only parts, DDR-only parts) reduce to
+  // the calibrated plateau untouched.
+  if (m_.memory_mode == MemoryMode::HbmOnly ||
+      m_.hbm_capacity_per_socket <= 0 || m_.ddr_bw_node <= 0)
+    return mem_bw(scope, streaming_stores);
+  // The calibrated triad plateau is the HBM tier's bandwidth; DDR serves
+  // the remainder of the traffic at its own (scope-sliced) rate.
+  const double bw_hbm = mem_bw(scope, streaming_stores);
+  const double bw_ddr = m_.ddr_bw_node / scope_divisor(m_, scope);
+  const double h = hbm_service_fraction(working_set_bytes, scope);
+  double time_per_byte = h / bw_hbm;
+  if (m_.memory_mode == MemoryMode::Cache)
+    time_per_byte += (1.0 - h) * kCacheMissAmplification / bw_ddr;
+  else
+    time_per_byte += (1.0 - h) / bw_ddr;
+  return 1.0 / time_per_byte;
+}
+
 double BandwidthModel::stream_bw(double working_set_bytes, Scope scope,
-                                 bool streaming_stores) const {
+                                 bool streaming_stores,
+                                 double dram_working_set_bytes) const {
   BWLAB_REQUIRE(working_set_bytes > 0,
                 "working set must be positive, got " << working_set_bytes);
   // Start from memory and fold cache levels in from the outermost (largest)
   // inwards: each level serves the fraction of traffic whose footprint it
   // can hold, the remainder falls through to the slower path computed so
-  // far.
-  double time_per_byte = 1.0 / mem_bw(scope, streaming_stores);
+  // far. The DRAM base is mode-aware: flat/cache configurations blend the
+  // HBM and DDR tiers by the RESIDENT footprint (tiered_mem_bw) — which
+  // the caller may pass separately from the cache-friction working set.
+  const double dram_ws = dram_working_set_bytes > 0 ? dram_working_set_bytes
+                                                    : working_set_bytes;
+  double time_per_byte =
+      1.0 / tiered_mem_bw(dram_ws, scope, streaming_stores);
   for (auto it = m_.caches.rbegin(); it != m_.caches.rend(); ++it) {
     const double cap = cache_capacity(*it, scope);
     const double bw = cache_bw(*it, scope);

@@ -25,6 +25,20 @@ const char* to_string(Scope s);
 /// other resident data).
 inline constexpr double kFitFraction = 0.85;
 
+// --- Memory-mode penalty-curve calibration (DESIGN §16) ---------------------
+// Cache mode models HBM as a memory-side cache in front of DDR. The hit
+// fraction is h(ws) = min(1, kFitFraction*C_hbm/ws)^kCacheCurveExponent
+// and every miss costs kCacheMissAmplification DDR transfers (the demand
+// fill plus the writeback of the evicted victim line — HBM caching is
+// write-back). Calibrated against Ibeid et al. (2504.03632): cache mode
+// tracks flat mode while the working set fits the 64 GB/socket HBM, then
+// degrades monotonically toward — and, with the miss amplification, below —
+// the DDR plateau as the set spills. The quadratic exponent reproduces the
+// measured gentle knee (set-conflict misses start before capacity misses),
+// in contrast with the cubic collapse of the core-cache levels above.
+inline constexpr double kCacheCurveExponent = 2.0;
+inline constexpr double kCacheMissAmplification = 2.0;
+
 class BandwidthModel {
  public:
   explicit BandwidthModel(const MachineModel& m) : m_(m) {}
@@ -43,10 +57,30 @@ class BandwidthModel {
   /// `streaming_stores` selects the SS-tuned flag variant (Figure 1 "SS").
   double mem_bw(Scope scope, bool streaming_stores = false) const;
 
+  /// Fraction of DRAM traffic served by HBM for a working set at `scope`:
+  /// 1 for HBM-only machines, the capacity-packing fraction in flat mode,
+  /// the miss-curve hit fraction in cache mode, 0 without HBM.
+  double hbm_service_fraction(double working_set_bytes, Scope scope) const;
+
+  /// Mode-aware DRAM-side bandwidth: the base of the Figure 1 curve for a
+  /// working set of `working_set_bytes` under the machine's MemoryMode.
+  /// Blends the HBM and DDR tiers by hbm_service_fraction (cache-mode
+  /// misses additionally pay kCacheMissAmplification DDR transfers).
+  /// Single-tier machines reduce exactly to mem_bw().
+  double tiered_mem_bw(double working_set_bytes, Scope scope,
+                       bool streaming_stores = false) const;
+
   /// The Figure 1 curve: achieved triad bandwidth for a working set of
-  /// `working_set_bytes` at `scope`.
+  /// `working_set_bytes` at `scope`. `dram_working_set_bytes` is the
+  /// resident footprint the DRAM tier blend prices (tiered_mem_bw);
+  /// 0 means "same as working_set_bytes". The two differ when the caller
+  /// inflates the cache-friction working set (app_cache_fit_penalty):
+  /// cache residency degrades with effective traffic pressure, but HBM
+  /// capacity packing and the cache-mode hit curve depend on the bytes
+  /// actually resident.
   double stream_bw(double working_set_bytes, Scope scope,
-                   bool streaming_stores = false) const;
+                   bool streaming_stores = false,
+                   double dram_working_set_bytes = 0) const;
 
   /// Ratio between the cache-region plateau (working set sized to the L2
   /// sweet spot) and the large-array plateau; the paper quotes 3.8x /

@@ -1,9 +1,30 @@
 #include "sim/machine.hpp"
 
+#include <map>
+#include <mutex>
+
 #include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace bwlab::sim {
+
+const char* to_string(MemoryMode m) {
+  switch (m) {
+    case MemoryMode::HbmOnly: return "hbmonly";
+    case MemoryMode::Flat: return "flat";
+    case MemoryMode::Cache: return "cache";
+  }
+  return "?";
+}
+
+MemoryMode memory_mode_from_string(const std::string& s) {
+  if (s == "hbm" || s == "hbmonly") return MemoryMode::HbmOnly;
+  if (s == "flat") return MemoryMode::Flat;
+  if (s == "cache") return MemoryMode::Cache;
+  BWLAB_REQUIRE(false, "unknown memory mode '" << s
+                       << "' (expected hbm|hbmonly|flat|cache)");
+  return MemoryMode::Flat;  // unreachable
+}
 
 const char* to_string(PairClass c) {
   switch (c) {
@@ -24,6 +45,58 @@ double MachineModel::latency_ns(PairClass c) const {
   }
   return 0;
 }
+
+std::vector<MemoryTier> MachineModel::tiers_per_numa() const {
+  std::vector<MemoryTier> out = tiers;
+  const double n = static_cast<double>(total_numa());
+  for (MemoryTier& t : out) {
+    t.capacity_bytes /= n;
+    t.bw_bytes_per_s /= n;
+  }
+  return out;
+}
+
+double MachineModel::tier_capacity(const std::string& tier_name) const {
+  for (const MemoryTier& t : tiers)
+    if (t.name == tier_name) return t.capacity_bytes;
+  return 0;
+}
+
+namespace {
+
+// Folds the per-tier raw fields into the addressable tier list according
+// to the memory mode (fastest first). HBM-only: one "hbm" tier. Flat: both
+// tiers are separate placement targets. Cache: HBM is a transparent
+// memory-side cache, so only "ddr" is addressable — the HBM hit curve is
+// applied by BandwidthModel::tiered_mem_bw, not by placement.
+void derive_tiers(MachineModel& x) {
+  const double s = static_cast<double>(x.sockets);
+  x.tiers.clear();
+  switch (x.memory_mode) {
+    case MemoryMode::HbmOnly:
+      BWLAB_REQUIRE(x.hbm_capacity_per_socket > 0 && x.hbm_bw_node > 0,
+                    "machine '" << x.id << "' has no HBM tier for hbmonly mode");
+      x.tiers.push_back({"hbm", s * x.hbm_capacity_per_socket, x.hbm_bw_node});
+      break;
+    case MemoryMode::Flat:
+      if (x.hbm_capacity_per_socket > 0)
+        x.tiers.push_back({"hbm", s * x.hbm_capacity_per_socket, x.hbm_bw_node});
+      if (x.ddr_capacity_per_socket > 0)
+        x.tiers.push_back({"ddr", s * x.ddr_capacity_per_socket, x.ddr_bw_node});
+      BWLAB_REQUIRE(!x.tiers.empty(),
+                    "machine '" << x.id << "' has no memory tier for flat mode");
+      break;
+    case MemoryMode::Cache:
+      BWLAB_REQUIRE(x.hbm_capacity_per_socket > 0,
+                    "machine '" << x.id << "' has no HBM to act as cache");
+      BWLAB_REQUIRE(x.ddr_capacity_per_socket > 0 && x.ddr_bw_node > 0,
+                    "machine '" << x.id << "' has no DDR behind the HBM cache");
+      x.tiers.push_back({"ddr", s * x.ddr_capacity_per_socket, x.ddr_bw_node});
+      break;
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Intel Xeon CPU MAX 9480 (Sapphire Rapids + 64 GB HBM2e/socket, HBM-only
@@ -63,8 +136,20 @@ const MachineModel& max9480() {
         {"L2", 2 * kMiB, true, 49 * kGB, 0},
         {"L3", 112.5 * kMiB, false, 0, 1000 * kGB},
     };
-    // HBM-only mode: every byte is served by HBM2e (no DDR installed).
-    x.tiers = {{"hbm", 2 * 64 * kGiB, 1446 * kGB}};
+    // The paper's machine runs HBM-only mode: every byte is served by
+    // HBM2e (no DIMMs installed). The DDR fields model the DIMMs a
+    // flat/cache-mode configuration would add (machine_by_id variants
+    // "max9480-flat" / "max9480-cache"): 8 channels of DDR5-4800 per
+    // socket = 256 GiB and 307.2 GB/s peak/socket; ~80% achieved triad
+    // gives ~490 GB/s for the node (Ibeid et al. 2504.03632 report the
+    // same HBM:DDR bandwidth ratio class on SPR+HBM nodes).
+    x.memory_mode = MemoryMode::HbmOnly;
+    x.snc = true;  // SNC4: tier capacity/bandwidth quarters per sub-NUMA
+    x.hbm_capacity_per_socket = 64 * kGiB;
+    x.hbm_bw_node = 1446 * kGB;
+    x.ddr_capacity_per_socket = 256 * kGiB;
+    x.ddr_bw_node = 490 * kGB;
+    derive_tiers(x);
     x.lat_ns_smt = 11;
     x.lat_ns_same_numa = 52;
     x.lat_ns_cross_numa = 66;
@@ -109,7 +194,12 @@ const MachineModel& icx8360y() {
         {"L2", 1.25 * kMiB, true, 25.9 * kGB, 0},
         {"L3", 54 * kMiB, false, 0, 450 * kGB},
     };
-    x.tiers = {{"ddr", 2 * 256 * kGiB, 296 * kGB}};
+    // DDR-only part: flat mode with a single populated tier.
+    x.memory_mode = MemoryMode::Flat;
+    x.snc = false;  // one NUMA domain per socket
+    x.ddr_capacity_per_socket = 256 * kGiB;
+    x.ddr_bw_node = 296 * kGB;
+    derive_tiers(x);
     x.lat_ns_smt = 10;
     x.lat_ns_same_numa = 48;
     x.lat_ns_cross_numa = 48;  // single NUMA domain per socket
@@ -157,7 +247,13 @@ const MachineModel& milanx() {
         {"L2", 512 * kKiB, true, 36 * kGB, 0},
         {"L3", 768 * kMiB, false, 0, 1400 * kGB},
     };
-    x.tiers = {{"ddr", 2 * 224 * kGiB, 310 * kGB}};
+    // DDR-only part; the 2 NUMA/socket chiplet split partitions the
+    // memory system the way SNC does on the Intel parts.
+    x.memory_mode = MemoryMode::Flat;
+    x.snc = true;
+    x.ddr_capacity_per_socket = 224 * kGiB;
+    x.ddr_bw_node = 310 * kGB;
+    derive_tiers(x);
     x.lat_ns_smt = 26;  // SMT off; class unused, kept equal to same-numa
     x.lat_ns_same_numa = 26;   // same CCX
     x.lat_ns_cross_numa = 112; // different chiplet, same socket
@@ -197,7 +293,12 @@ const MachineModel& a100() {
     x.caches = {
         {"L2", 40 * kMiB, false, 0, 4500 * kGB},
     };
-    x.tiers = {{"hbm", 40 * kGiB, 1310 * kGB}};
+    // HBM-only device memory (host DRAM is outside the model).
+    x.memory_mode = MemoryMode::HbmOnly;
+    x.snc = false;
+    x.hbm_capacity_per_socket = 40 * kGiB;
+    x.hbm_bw_node = 1310 * kGB;
+    derive_tiers(x);
     x.lat_ns_smt = 0;
     x.lat_ns_same_numa = 0;
     x.lat_ns_cross_numa = 0;
@@ -218,9 +319,75 @@ std::vector<const MachineModel*> cpu_machines() {
   return {&max9480(), &icx8360y(), &milanx()};
 }
 
+namespace {
+
+// Builds a memory-mode/SNC variant of `base` for the suffix grammar
+// `<base>[-hbm|-flat|-cache][-quad]`. `rest` is the suffix after the base
+// id and its separating '-'; returns false when it is not valid variant
+// grammar (so the caller reports an unknown-id error instead).
+bool make_variant(const MachineModel& base, const std::string& rest,
+                  const std::string& full_id, MachineModel& out) {
+  std::vector<std::string> toks;
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    const std::size_t dash = rest.find('-', pos);
+    toks.push_back(rest.substr(pos, dash - pos));
+    if (dash == std::string::npos) break;
+    pos = dash + 1;
+  }
+  out = base;
+  out.id = full_id;
+  std::size_t i = 0;
+  if (i < toks.size() && (toks[i] == "hbm" || toks[i] == "hbmonly" ||
+                          toks[i] == "flat" || toks[i] == "cache")) {
+    out.memory_mode = memory_mode_from_string(toks[i]);
+    ++i;
+  }
+  if (i < toks.size() && toks[i] == "quad") {
+    // SNC off: the whole socket is one NUMA domain, so per-NUMA tier
+    // slices are socket-sized instead of quartered.
+    out.numa_per_socket = 1;
+    out.snc = false;
+    ++i;
+  }
+  if (i != toks.size()) return false;
+  // Addressable capacity follows the mode: flat exposes both pools,
+  // cache mode only the DDR behind the transparent HBM.
+  switch (out.memory_mode) {
+    case MemoryMode::HbmOnly:
+      out.mem_capacity_per_socket = out.hbm_capacity_per_socket;
+      break;
+    case MemoryMode::Flat:
+      out.mem_capacity_per_socket =
+          out.hbm_capacity_per_socket + out.ddr_capacity_per_socket;
+      break;
+    case MemoryMode::Cache:
+      out.mem_capacity_per_socket = out.ddr_capacity_per_socket;
+      break;
+  }
+  derive_tiers(out);  // throws when the base lacks the tier the mode needs
+  return true;
+}
+
+}  // namespace
+
 const MachineModel& machine_by_id(const std::string& id) {
   for (const MachineModel* m : all_machines())
     if (m->id == id) return *m;
+  // Memory-mode/SNC variants (see header): materialized on first use into
+  // a process-lifetime cache; std::map node stability keeps the returned
+  // references valid across later insertions.
+  static std::mutex mu;
+  static std::map<std::string, MachineModel> variants;
+  std::lock_guard<std::mutex> lock(mu);
+  if (auto it = variants.find(id); it != variants.end()) return it->second;
+  for (const MachineModel* m : all_machines()) {
+    const std::string prefix = m->id + "-";
+    if (id.rfind(prefix, 0) != 0) continue;
+    MachineModel v;
+    if (!make_variant(*m, id.substr(prefix.size()), id, v)) break;
+    return variants.emplace(id, std::move(v)).first->second;
+  }
   BWLAB_REQUIRE(false, "unknown machine id '" << id << "'");
   return max9480();  // unreachable
 }

@@ -29,13 +29,29 @@ struct CacheLevel {
 
 /// One addressable memory tier of the platform (bwmem traffic attribution
 /// target). HBM-only parts expose a single "hbm" tier; DDR parts a single
-/// "ddr" tier; future cache/flat-mode models add both. Ordered fastest
-/// first in MachineModel::tiers.
+/// "ddr" tier; flat mode on the MAX exposes both, fastest first in
+/// MachineModel::tiers. In cache mode HBM is transparent (not addressable),
+/// so only the "ddr" tier appears and the HBM hit curve lives in
+/// BandwidthModel::tiered_mem_bw.
 struct MemoryTier {
   std::string name;            ///< "hbm" | "ddr"
   double capacity_bytes = 0;   ///< node capacity of this tier
   double bw_bytes_per_s = 0;   ///< achieved node bandwidth (STREAM triad)
 };
+
+/// The three shipping memory modes of the Xeon CPU MAX series (paper §1;
+/// Ibeid et al. 2504.03632 §2). Plain DDR machines and the GPU are modeled
+/// as Flat with a single populated tier; the paper's MAX measurements are
+/// HbmOnly (no DIMMs installed).
+enum class MemoryMode {
+  HbmOnly,  ///< only HBM installed/exposed: one fast tier
+  Flat,     ///< HBM and DDR are separate NUMA targets: explicit placement
+  Cache,    ///< HBM fronts DDR as a memory-side cache: transparent, misses
+};
+
+const char* to_string(MemoryMode m);
+/// Parses "hbm"/"hbmonly", "flat", "cache"; throws bwlab::Error otherwise.
+MemoryMode memory_mode_from_string(const std::string& s);
 
 /// Core-to-core communication relationship classes used by the latency
 /// model (Figure 2) and by the MPI placement model (Figure 7).
@@ -87,8 +103,26 @@ struct MachineModel {
 
   std::vector<CacheLevel> caches;  ///< ordered smallest (L1) to largest
 
-  /// Memory tiers, fastest first (see MemoryTier). Filled per machine in
-  /// machine.cpp; consumed by the bwmem placement policies.
+  // --- Memory mode & tiers ---------------------------------------------------
+  /// Executable memory mode (see MemoryMode). max9480 defaults to HbmOnly —
+  /// the configuration the paper measured; "max9480-flat"/"max9480-cache"
+  /// variants (machine_by_id) switch it.
+  MemoryMode memory_mode = MemoryMode::Flat;
+  /// Sub-NUMA clustering: true when numa_per_socket > 1 partitions the
+  /// memory system (SNC4 on the MAX). The "-quad" variant id turns it off
+  /// (numa_per_socket = 1), which un-quarters per-NUMA tier slices.
+  bool snc = false;
+
+  /// Per-tier raw inputs; derive_tiers() folds them into `tiers` according
+  /// to memory_mode. Zero capacity/bandwidth means the tier is absent.
+  double hbm_capacity_per_socket = 0;  ///< bytes of HBM per socket
+  double hbm_bw_node = 0;              ///< achieved node HBM triad bandwidth
+  double ddr_capacity_per_socket = 0;  ///< bytes of DDR per socket
+  double ddr_bw_node = 0;              ///< achieved node DDR triad bandwidth
+
+  /// Memory tiers, fastest first (see MemoryTier), derived from the fields
+  /// above by derive_tiers() in machine.cpp; consumed by the bwmem
+  /// placement policies and the memtier allocator.
   std::vector<MemoryTier> tiers;
 
   // --- Core-to-core message latency (ns), one-writer/one-reader test -------
@@ -136,6 +170,15 @@ struct MachineModel {
 
   /// Latency for a PairClass (Figure 2 ordinate).
   double latency_ns(PairClass c) const;
+
+  /// Addressable tier slices as one NUMA domain sees them: SNC partitions
+  /// both capacity and bandwidth evenly across the numa_per_socket
+  /// sub-domains (quartering under SNC4), so each slice is
+  /// capacity/total_numa and bw/total_numa of the node tier.
+  std::vector<MemoryTier> tiers_per_numa() const;
+
+  /// Node capacity of the named tier (0 when absent from `tiers`).
+  double tier_capacity(const std::string& tier_name) const;
 };
 
 /// Registry of the modeled platforms.
@@ -150,6 +193,16 @@ std::vector<const MachineModel*> all_machines();
 std::vector<const MachineModel*> cpu_machines();
 
 /// Lookup by id; throws bwlab::Error for unknown ids.
+///
+/// Besides the four base ids, the registry resolves memory-mode/SNC
+/// variants via the suffix grammar `<base>[-hbm|-flat|-cache][-quad]`:
+///   max9480-flat        HBM + DDR as separate tiers, SNC4 kept
+///   max9480-cache       HBM fronts DDR transparently, SNC4 kept
+///   max9480-cache-quad  ditto with SNC off (1 NUMA/socket)
+/// Variants are materialized on first use and cached (their id is the full
+/// variant id, so report provenance round-trips); references stay valid
+/// for the process lifetime. Variants are intentionally NOT listed in
+/// all_machines(), which keeps the paper's four-platform registry stable.
 const MachineModel& machine_by_id(const std::string& id);
 
 }  // namespace bwlab::sim

@@ -37,4 +37,15 @@ double effective_clock_ghz(const MachineModel& m, bool zmm_high) {
   return m.allcore_turbo_ghz * factor;
 }
 
+std::vector<MemoryTier> local_tier_slices(const MachineModel& m, int thread) {
+  // Validates the thread id (and documents that slices are a per-domain
+  // view); the even SNC partition makes every domain's slice identical.
+  (void)locate_thread(m, thread);
+  return m.tiers_per_numa();
+}
+
+bool crosses_snc_partition(const MachineModel& m, int thread_a, int thread_b) {
+  return classify_pair(m, thread_a, thread_b) == PairClass::CrossNuma;
+}
+
 }  // namespace bwlab::sim

@@ -32,4 +32,17 @@ double c2c_latency_ns(const MachineModel& m, int thread_a, int thread_b);
 /// (1.0 on non-AVX-512 machines).
 double effective_clock_ghz(const MachineModel& m, bool zmm_high);
 
+/// The memory-tier slices local to `thread`'s NUMA domain: under SNC each
+/// sub-NUMA domain owns 1/total_numa of every tier's capacity and
+/// bandwidth (quartering under SNC4 on the MAX), so a first-touch
+/// allocation from this thread can only pack this slice. The "-quad"
+/// machine variants collapse the domains back to one per socket, which is
+/// visible here as socket-sized slices.
+std::vector<MemoryTier> local_tier_slices(const MachineModel& m, int thread);
+
+/// True when threads `a` and `b` live in different sub-NUMA domains of
+/// the same socket — the pair class whose traffic crosses the SNC
+/// partition (CrossNuma); never true on machines without SNC.
+bool crosses_snc_partition(const MachineModel& m, int thread_a, int thread_b);
+
 }  // namespace bwlab::sim

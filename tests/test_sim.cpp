@@ -203,6 +203,165 @@ TEST(Comm, ThreadBarrierGrowsWithTeam) {
   EXPECT_LT(cm.thread_barrier_s(28), cm.thread_barrier_s(224));
 }
 
+// --- Memory modes & machine variants -------------------------------------
+
+TEST(MemoryMode, BaseMachinesCarryModeDerivedTiers) {
+  // The paper's MAX runs HBM-only: one "hbm" tier, every byte HBM-served.
+  const MachineModel& mx = max9480();
+  EXPECT_EQ(mx.memory_mode, MemoryMode::HbmOnly);
+  EXPECT_TRUE(mx.snc);
+  ASSERT_EQ(mx.tiers.size(), 1u);
+  EXPECT_EQ(mx.tiers[0].name, "hbm");
+  EXPECT_DOUBLE_EQ(mx.tiers[0].capacity_bytes, 2 * 64 * kGiB);
+  // DDR-only parts are flat mode with a single populated tier.
+  const MachineModel& icx = icx8360y();
+  EXPECT_EQ(icx.memory_mode, MemoryMode::Flat);
+  ASSERT_EQ(icx.tiers.size(), 1u);
+  EXPECT_EQ(icx.tiers[0].name, "ddr");
+}
+
+TEST(MemoryMode, VariantIdsResolveWithModeDerivedTiers) {
+  const MachineModel& flat = machine_by_id("max9480-flat");
+  EXPECT_EQ(flat.id, "max9480-flat");
+  EXPECT_EQ(flat.memory_mode, MemoryMode::Flat);
+  ASSERT_EQ(flat.tiers.size(), 2u);  // fastest first
+  EXPECT_EQ(flat.tiers[0].name, "hbm");
+  EXPECT_EQ(flat.tiers[1].name, "ddr");
+  EXPECT_GT(flat.tiers[0].bw_bytes_per_s, flat.tiers[1].bw_bytes_per_s);
+  // Flat mode addresses both pools.
+  EXPECT_DOUBLE_EQ(flat.mem_capacity_per_socket,
+                   flat.hbm_capacity_per_socket +
+                       flat.ddr_capacity_per_socket);
+
+  const MachineModel& cache = machine_by_id("max9480-cache");
+  EXPECT_EQ(cache.memory_mode, MemoryMode::Cache);
+  // HBM is transparent in cache mode: only DDR is addressable.
+  ASSERT_EQ(cache.tiers.size(), 1u);
+  EXPECT_EQ(cache.tiers[0].name, "ddr");
+  EXPECT_DOUBLE_EQ(cache.mem_capacity_per_socket,
+                   cache.ddr_capacity_per_socket);
+
+  // "-hbm" resolves the explicit HBM-only variant == the base machine's
+  // tier structure (only the id differs).
+  const MachineModel& hbm = machine_by_id("max9480-hbm");
+  EXPECT_EQ(hbm.memory_mode, MemoryMode::HbmOnly);
+  ASSERT_EQ(hbm.tiers.size(), 1u);
+  EXPECT_EQ(hbm.tiers[0].name, max9480().tiers[0].name);
+  EXPECT_DOUBLE_EQ(hbm.tiers[0].capacity_bytes,
+                   max9480().tiers[0].capacity_bytes);
+
+  // Repeated lookups return the same cached object.
+  EXPECT_EQ(&machine_by_id("max9480-flat"), &flat);
+}
+
+TEST(MemoryMode, QuadVariantTurnsSncOff) {
+  const MachineModel& snc4 = max9480();
+  const MachineModel& quad = machine_by_id("max9480-quad");
+  EXPECT_TRUE(snc4.snc);
+  EXPECT_FALSE(quad.snc);
+  EXPECT_EQ(quad.numa_per_socket, 1);
+  EXPECT_EQ(quad.total_numa(), 2);
+  // Node-level tiers are identical; the per-NUMA slices un-quarter.
+  ASSERT_EQ(quad.tiers.size(), snc4.tiers.size());
+  EXPECT_DOUBLE_EQ(quad.tiers[0].capacity_bytes,
+                   snc4.tiers[0].capacity_bytes);
+  const auto s4 = snc4.tiers_per_numa();
+  const auto sq = quad.tiers_per_numa();
+  EXPECT_DOUBLE_EQ(s4[0].capacity_bytes * 4, sq[0].capacity_bytes);
+  EXPECT_DOUBLE_EQ(s4[0].bw_bytes_per_s * 4, sq[0].bw_bytes_per_s);
+  // Mode and SNC suffixes compose.
+  const MachineModel& cq = machine_by_id("max9480-cache-quad");
+  EXPECT_EQ(cq.memory_mode, MemoryMode::Cache);
+  EXPECT_FALSE(cq.snc);
+}
+
+TEST(MemoryMode, InvalidVariantsThrow) {
+  EXPECT_THROW(machine_by_id("max9480-turbo"), bwlab::Error);
+  EXPECT_THROW(machine_by_id("max9480-flat-flat"), bwlab::Error);
+  EXPECT_THROW(machine_by_id("max9480-quad-flat"), bwlab::Error);  // order
+  // icx8360y has no HBM: hbmonly/cache variants cannot be derived.
+  EXPECT_THROW(machine_by_id("icx8360y-hbm"), bwlab::Error);
+  EXPECT_THROW(machine_by_id("icx8360y-cache"), bwlab::Error);
+}
+
+TEST(MemoryMode, StringRoundTrip) {
+  EXPECT_STREQ(to_string(MemoryMode::HbmOnly), "hbmonly");
+  EXPECT_STREQ(to_string(MemoryMode::Flat), "flat");
+  EXPECT_STREQ(to_string(MemoryMode::Cache), "cache");
+  EXPECT_EQ(memory_mode_from_string("hbm"), MemoryMode::HbmOnly);
+  EXPECT_EQ(memory_mode_from_string("hbmonly"), MemoryMode::HbmOnly);
+  EXPECT_EQ(memory_mode_from_string("flat"), MemoryMode::Flat);
+  EXPECT_EQ(memory_mode_from_string("cache"), MemoryMode::Cache);
+  EXPECT_THROW(memory_mode_from_string("2lm"), bwlab::Error);
+}
+
+TEST(MemoryMode, TieredBandwidthOrdersHbmFlatCache) {
+  const BandwidthModel hbm(machine_by_id("max9480"));
+  const BandwidthModel flat(machine_by_id("max9480-flat"));
+  const BandwidthModel cache(machine_by_id("max9480-cache"));
+  const double cap = 2 * 64.0 * kGiB;
+  for (const double ws : {0.1 * cap, 0.5 * cap, 0.84 * cap, 1.0 * cap,
+                          1.5 * cap, 3.0 * cap, 10.0 * cap}) {
+    const double bh = hbm.tiered_mem_bw(ws, Scope::Node);
+    const double bf = flat.tiered_mem_bw(ws, Scope::Node);
+    const double bc = cache.tiered_mem_bw(ws, Scope::Node);
+    EXPECT_LE(bf, bh) << "ws " << ws;
+    EXPECT_LE(bc, bf) << "ws " << ws;
+  }
+  // At fit working sets all three serve from HBM at the same plateau.
+  EXPECT_DOUBLE_EQ(flat.tiered_mem_bw(0.5 * cap, Scope::Node),
+                   hbm.tiered_mem_bw(0.5 * cap, Scope::Node));
+  EXPECT_DOUBLE_EQ(cache.tiered_mem_bw(0.5 * cap, Scope::Node),
+                   hbm.tiered_mem_bw(0.5 * cap, Scope::Node));
+  // Far past capacity the cache-mode blend falls below the DDR plateau
+  // (miss amplification), while flat mode approaches it from above.
+  const double ddr = machine_by_id("max9480-flat").ddr_bw_node;
+  EXPECT_LT(cache.tiered_mem_bw(50 * cap, Scope::Node), ddr);
+  EXPECT_GT(flat.tiered_mem_bw(50 * cap, Scope::Node), 0.9 * ddr);
+  // Single-tier machines reduce exactly to the calibrated plateau.
+  const BandwidthModel icx(icx8360y());
+  EXPECT_DOUBLE_EQ(icx.tiered_mem_bw(1.0 * kGiB, Scope::Node),
+                   icx.mem_bw(Scope::Node));
+}
+
+TEST(MemoryMode, HbmServiceFractionCurveShape) {
+  const BandwidthModel cache(machine_by_id("max9480-cache"));
+  const double cap = 2 * 64.0 * kGiB;
+  // Fits (with the kFitFraction margin): everything hits.
+  EXPECT_DOUBLE_EQ(cache.hbm_service_fraction(0.8 * cap, Scope::Node), 1.0);
+  // Monotone non-increasing in the working set.
+  double prev = 1.0;
+  for (double ws = 0.9 * cap; ws < 20 * cap; ws *= 1.3) {
+    const double h = cache.hbm_service_fraction(ws, Scope::Node);
+    EXPECT_LE(h, prev) << "ws " << ws;
+    EXPECT_GT(h, 0.0);
+    prev = h;
+  }
+  // No HBM => fraction 0.
+  const BandwidthModel icx(icx8360y());
+  EXPECT_DOUBLE_EQ(icx.hbm_service_fraction(1.0 * kGiB, Scope::Node), 0.0);
+}
+
+TEST(Topology, SncFeedsPairClassificationAndTierSlices) {
+  const MachineModel& snc4 = max9480();
+  const MachineModel& quad = machine_by_id("max9480-quad");
+  // Cores 0 and 55 sit in different SNC4 quarters of socket 0: the pair
+  // crosses the partition under SNC and collapses to same-NUMA without.
+  EXPECT_EQ(classify_pair(snc4, 0, 55), PairClass::CrossNuma);
+  EXPECT_TRUE(crosses_snc_partition(snc4, 0, 55));
+  EXPECT_EQ(classify_pair(quad, 0, 55), PairClass::SameNuma);
+  EXPECT_FALSE(crosses_snc_partition(quad, 0, 55));
+  // Cross-socket pairs are not an SNC crossing on either variant.
+  EXPECT_FALSE(crosses_snc_partition(snc4, 0, 60));
+  // A first-touch allocation sees the quartered slice under SNC4.
+  const auto slice4 = local_tier_slices(snc4, 0);
+  const auto sliceq = local_tier_slices(quad, 0);
+  ASSERT_EQ(slice4.size(), 1u);
+  EXPECT_DOUBLE_EQ(slice4[0].capacity_bytes, 64.0 * kGiB / 4);
+  EXPECT_DOUBLE_EQ(sliceq[0].capacity_bytes, 64.0 * kGiB);
+  EXPECT_THROW(local_tier_slices(snc4, -1), bwlab::Error);
+}
+
 TEST(Comm, RankPairPlacement) {
   CommModel cm(max9480());
   // Pure MPI without SMT: 112 ranks, one per core. Adjacent ranks share a
